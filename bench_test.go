@@ -1,0 +1,163 @@
+package splitsim
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each benchmark prints the paper-style rows once (so
+// `go test -bench=. | tee bench_output.txt` captures the reproduction) and
+// reports the harness runtime as the benchmark metric. Scales are reduced
+// so the whole suite runs in minutes on one core; pass the full paper scale
+// through cmd/splitsim (`splitsim run all -scale 1`).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale shrinks simulated durations for the benchmark suite.
+const benchScale = 0.25
+
+// heavyScale is used by the large-topology case studies.
+const heavyScale = 0.04
+
+func opts(scale float64) experiments.Options {
+	return experiments.Options{Scale: scale, Seed: 42}
+}
+
+// printOnce emits an experiment's rows exactly once per process, keyed by
+// the benchmark's name, no matter how many iterations the framework runs.
+var printedMu sync.Mutex
+var printed = map[string]bool{}
+
+func printOnce(key, out string) {
+	printedMu.Lock()
+	defer printedMu.Unlock()
+	if printed[key] {
+		return
+	}
+	printed[key] = true
+	fmt.Printf("\n%s\n", out)
+}
+
+// BenchmarkTable1SimulatorComparison regenerates Table 1.
+func BenchmarkTable1SimulatorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce("table1", experiments.Table1())
+	}
+}
+
+// BenchmarkFig4InNetworkThroughput regenerates Fig. 4 and the §4.2 core/
+// runtime accounting: NetCache vs Pegasus under protocol-level, end-to-end,
+// and mixed-fidelity simulation.
+func BenchmarkFig4InNetworkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(opts(benchScale))
+		printOnce("fig4", r.String())
+	}
+}
+
+// BenchmarkFig5PegasusLatencyCDF regenerates Fig. 5: latency CDFs from an
+// ns-3 client vs a qemu client under saturated and unsaturated load.
+func BenchmarkFig5PegasusLatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(opts(benchScale))
+		printOnce("fig5", r.String())
+	}
+}
+
+// BenchmarkClockSyncNTPvsPTP regenerates the §4.3 case study: clock bounds
+// and commit-wait database performance under NTP vs PTP in the large
+// datacenter topology.
+func BenchmarkClockSyncNTPvsPTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ClockSync(opts(heavyScale))
+		printOnce("clocksync", r.String())
+	}
+}
+
+// BenchmarkFig6DCTCPMarkingThreshold regenerates Fig. 6: DCTCP throughput
+// vs ECN marking threshold across the three fidelities.
+func BenchmarkFig6DCTCPMarkingThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(opts(benchScale))
+		printOnce("fig6", r.String())
+	}
+}
+
+// BenchmarkFig7Gem5Multicore regenerates Fig. 7: SplitSim-parallelized
+// multi-core gem5 vs sequential gem5 across core counts.
+func BenchmarkFig7Gem5Multicore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(opts(1))
+		printOnce("fig7", r.String())
+	}
+}
+
+// BenchmarkFig8NativeVsSplitSim regenerates Fig. 8: SplitSim vs native
+// (barrier) parallelization of ns-3 and OMNeT++ on FatTree8.
+func BenchmarkFig8NativeVsSplitSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(opts(benchScale))
+		printOnce("fig8", r.String())
+	}
+}
+
+// BenchmarkFig9PartitionStrategies regenerates Fig. 9: simulation speed of
+// the s/ac/crN/rs partition strategies with qemu and gem5 hosts.
+func BenchmarkFig9PartitionStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(opts(heavyScale))
+		printOnce("fig9", r.String())
+	}
+}
+
+// BenchmarkFig10ProfilerWTPG regenerates Fig. 10: wait-time-profile graphs
+// for the ac and cr3 partition strategies.
+func BenchmarkFig10ProfilerWTPG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(opts(heavyScale))
+		printOnce("fig10", r.String())
+	}
+}
+
+// BenchmarkConfigEffort regenerates the §4.6 configuration-effort
+// comparison.
+func BenchmarkConfigEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ConfigEffort(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("configeffort", r.String())
+	}
+}
+
+// BenchmarkAblationTrunkAdapter quantifies the trunk adapter's saving
+// (DESIGN.md design-choice ablation): the same partitioned fat tree wired
+// with one trunked channel per partition pair versus one channel per
+// boundary link.
+func BenchmarkAblationTrunkAdapter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TrunkAblation(opts(benchScale))
+		printOnce("trunk", r.String())
+	}
+}
+
+// BenchmarkAblationSyncQuantum sweeps the synchronization interval,
+// exposing the lookahead/overhead trade-off the channel latency sets.
+func BenchmarkAblationSyncQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SyncQuantumAblation(opts(benchScale))
+		printOnce("quantum", r.String())
+	}
+}
+
+// BenchmarkAblationProfilerOverhead measures the profiler's wall-time cost
+// on a coupled run — the quick experiment the paper sketches in §4.5.
+func BenchmarkAblationProfilerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ProfilerOverhead(opts(benchScale))
+		printOnce("profoverhead", r.String())
+	}
+}

@@ -1,0 +1,125 @@
+// Command splitsim runs the paper's evaluation experiments and prints
+// their tables/series. It is the orchestration entry point a user drives:
+//
+//	splitsim list
+//	splitsim run fig4 [-scale 1.0] [-seed 42]
+//	splitsim run all  [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+type runner func(opts experiments.Options) (string, error)
+
+func catalog() map[string]runner {
+	return map[string]runner{
+		"table1": func(experiments.Options) (string, error) {
+			return experiments.Table1(), nil
+		},
+		"fig4": func(o experiments.Options) (string, error) {
+			return experiments.Fig4(o).String(), nil
+		},
+		"fig5": func(o experiments.Options) (string, error) {
+			return experiments.Fig5(o).String(), nil
+		},
+		"fig6": func(o experiments.Options) (string, error) {
+			return experiments.Fig6(o).String(), nil
+		},
+		"clocksync": func(o experiments.Options) (string, error) {
+			return experiments.ClockSync(o).String(), nil
+		},
+		"fig7": func(o experiments.Options) (string, error) {
+			return experiments.Fig7(o).String(), nil
+		},
+		"fig8": func(o experiments.Options) (string, error) {
+			return experiments.Fig8(o).String(), nil
+		},
+		"fig9": func(o experiments.Options) (string, error) {
+			return experiments.Fig9(o).String(), nil
+		},
+		"fig10": func(o experiments.Options) (string, error) {
+			return experiments.Fig10(o).String(), nil
+		},
+		"configeffort": func(experiments.Options) (string, error) {
+			r, err := experiments.ConfigEffort(".")
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		},
+	}
+}
+
+func names() []string {
+	var out []string
+	for name := range catalog() {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  splitsim list                      list available experiments
+  splitsim run <name|all> [flags]    run an experiment
+
+flags for run:
+  -scale f   duration/topology scale (default 1.0 = paper scale)
+  -seed n    random seed (default 42)
+
+experiments: %v
+`, names())
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, n := range names() {
+			fmt.Println(n)
+		}
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		scale := fs.Float64("scale", 1.0, "duration/topology scale")
+		seed := fs.Uint64("seed", 42, "random seed")
+		if len(os.Args) < 3 {
+			usage()
+		}
+		name := os.Args[2]
+		_ = fs.Parse(os.Args[3:])
+		opts := experiments.Options{Scale: *scale, Seed: *seed}
+		cat := catalog()
+		run := func(n string) {
+			r, ok := cat[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try: %v\n", n, names())
+				os.Exit(1)
+			}
+			out, err := r(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+		if name == "all" {
+			for _, n := range names() {
+				run(n)
+			}
+			return
+		}
+		run(name)
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestCatalogCoversEveryFigure(t *testing.T) {
+	cat := catalog()
+	for _, want := range []string{
+		"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"clocksync", "configeffort",
+	} {
+		if _, ok := cat[want]; !ok {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if len(names()) != len(cat) {
+		t.Error("names() incomplete")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	ns := names()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("names not sorted: %v", ns)
+		}
+	}
+}
+
+func TestRunnersProduceOutput(t *testing.T) {
+	// Smoke-run the cheap entries through the same path the CLI uses.
+	opts := experiments.Options{Scale: 0.3, Seed: 1}
+	for _, name := range []string{"table1", "fig7"} {
+		out, err := catalog()[name](opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(strings.ToLower(out), strings.TrimPrefix(name, "")) &&
+			len(out) < 40 {
+			t.Fatalf("%s output suspiciously short:\n%s", name, out)
+		}
+	}
+}

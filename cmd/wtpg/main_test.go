@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profiler"
+)
+
+// TestLogPipeline exercises the parse→analyze→render path the tool wraps,
+// on a synthetic log in the exact on-disk format.
+func TestLogPipeline(t *testing.T) {
+	log := strings.Join([]string{
+		"splitsim-prof sim=net wall=0 virt=0 ep=x.a peer=host wait=0 proc=0 txd=0 txs=0 rxd=0 rxs=0",
+		"splitsim-prof sim=host wall=0 virt=0 ep=x.b peer=net wait=0 proc=0 txd=0 txs=0 rxd=0 rxs=0",
+		"splitsim-prof sim=net wall=1000000 virt=1000000000 ep=x.a peer=host wait=900000 proc=1000 txd=5 txs=10 rxd=5 rxs=10",
+		"splitsim-prof sim=host wall=1000000 virt=1000000000 ep=x.b peer=net wait=10000 proc=1000 txd=5 txs=10 rxd=5 rxs=10",
+	}, "\n")
+	samples, err := profiler.ParseLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := profiler.Analyze(samples, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "host" barely waits: it is the bottleneck.
+	if b := a.Bottlenecks(0.15); len(b) != 1 || b[0] != "host" {
+		t.Fatalf("bottlenecks = %v", b)
+	}
+	g := profiler.BuildWTPG(a)
+	dot := g.DOT()
+	for _, want := range []string{`"net" -> "host"`, `"host" -> "net"`, "fillcolor"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+	// Simulation speed: 1ms virtual over 1ms wall.
+	if a.SimSpeed < 0.99 || a.SimSpeed > 1.01 {
+		t.Fatalf("speed = %v", a.SimSpeed)
+	}
+}

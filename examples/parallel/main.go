@@ -1,0 +1,79 @@
+// Parallelization through decomposition: split a fat-tree network into
+// partitions connected by trunked SplitSim channels, run the partitions as
+// truly parallel goroutines with conservative synchronization and the
+// profiler attached, then post-process the profile into the wait-time
+// profile graph — the paper's workflow for finding simulation bottlenecks.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	splitsim "repro"
+	"repro/internal/decomp"
+	"repro/internal/link"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+)
+
+func main() {
+	const parts = 4
+	const dur = 5 * splitsim.Millisecond
+
+	topo, meta := netsim.FatTree(4, 10*splitsim.Gbps, 40*splitsim.Gbps, splitsim.Microsecond)
+	assign := decomp.EvenFatTree(meta, len(topo.Switches), parts)
+	built := topo.Build("net", 42, assign, nil)
+
+	s := splitsim.NewSimulation()
+	splitsim.WirePartitions(s, topo, built, true /* trunk adapters */)
+
+	// Every host streams to a partner in another pod.
+	hosts := built.Hosts
+	for i := 0; i < len(hosts)/2; i++ {
+		a, b := hosts[i], hosts[len(hosts)/2+i]
+		a.SetApp(periodic{dst: b.IP()})
+		b.SetApp(periodic{dst: a.IP()})
+		a.BindUDP(proto.PortBulk, drop)
+		b.BindUDP(proto.PortBulk, drop)
+	}
+
+	// Attach the profiler and run coupled: one goroutine per partition.
+	col := splitsim.NewCollector()
+	s.PreRun = func(g *link.Group) { col.Attach(g, 250*splitsim.Microsecond) }
+	if err := s.RunCoupled(dur); err != nil {
+		panic(err)
+	}
+
+	// Post-process: simulation speed, efficiency, and the WTPG.
+	a, err := splitsim.Analyze(col.Samples(), 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(a.String())
+	g := splitsim.BuildWTPG(a)
+	fmt.Print(g.Render())
+
+	// Persist the raw profile for the wtpg post-processing tool:
+	//   go run ./cmd/wtpg -format dot profile.log
+	f, err := os.CreateTemp("", "splitsim-profile-*.log")
+	if err == nil {
+		defer f.Close()
+		if _, err := col.WriteTo(f); err == nil {
+			fmt.Printf("wrote raw profile to %s (post-process with cmd/wtpg)\n", f.Name())
+		}
+	}
+}
+
+func drop(proto.IP, uint16, []byte, int) {}
+
+// periodic is a tiny CBR sender app.
+type periodic struct{ dst proto.IP }
+
+func (p periodic) Start(h *netsim.Host) {
+	var tick func()
+	tick = func() {
+		h.SendUDP(p.dst, proto.PortBulk, proto.PortBulk, nil, 1400)
+		h.After(20*splitsim.Microsecond, tick)
+	}
+	h.After(splitsim.Time(h.Rand().Int63n(int64(20*splitsim.Microsecond))), tick)
+}

@@ -1,0 +1,119 @@
+// Package clocksync implements the clock-synchronization case study
+// (§4.3): an NTP server, a PTP grandmaster and slave (ptp4l) with hardware
+// timestamping and transparent-clock support, and a chrony-like daemon that
+// disciplines the host system clock from either source and continuously
+// reports its clock error bound — the quantity the paper compares between
+// NTP (~11 µs) and PTP (~1 µs), and the input to the commit-wait database.
+package clocksync
+
+import (
+	"repro/internal/hostsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// NTPServer answers NTP requests with software timestamps. Run it on a
+// host whose oscillator is configured perfect (stratum-1/GPS reference).
+type NTPServer struct {
+	h *hostsim.Host
+	// Served counts requests answered.
+	Served uint64
+}
+
+// Run binds the server; use from a hostsim app hook.
+func (s *NTPServer) Run(h *hostsim.Host) {
+	s.h = h
+	h.BindUDP(proto.PortNTP, func(src proto.IP, sport uint16, payload []byte, _ int) {
+		m, err := proto.ParseNTP(payload)
+		if err != nil || m.Mode != proto.NTPModeClient {
+			return
+		}
+		s.Served++
+		// T2: SO_TIMESTAMP software receive timestamp (driver entry).
+		// It still carries interrupt and transmit-path jitter — the reason
+		// NTP accuracy is bounded by software timestamping.
+		t2 := h.LastRxSWTime()
+		reply := proto.NTPMsg{Mode: proto.NTPModeServer, T1: m.T1, T2: t2, T3: h.ClockNow()}
+		h.SendUDP(src, proto.PortNTP, sport, proto.AppendNTP(nil, reply), 0)
+	})
+}
+
+// Measurement is one time-source observation handed to the chrony servo.
+type Measurement struct {
+	// At is the local (true) time of the measurement.
+	At sim.Time
+	// Offset is the estimated system-clock error (reference - local).
+	Offset sim.Time
+	// ErrBound is the measurement's own error bound (path asymmetry,
+	// timestamp granularity, reference uncertainty).
+	ErrBound sim.Time
+}
+
+// NTPClient polls an NTP server and produces measurements.
+type NTPClient struct {
+	// Server is the NTP server address.
+	Server proto.IP
+	// Poll is the polling interval.
+	Poll sim.Time
+	// OnMeasurement receives each completed exchange (wired to Chrony).
+	OnMeasurement func(Measurement)
+
+	h    *hostsim.Host
+	seq  uint64
+	sent map[sim.Time]struct{}
+
+	// Exchanges counts completed request/response pairs.
+	Exchanges uint64
+	// Delay records measured round-trip delays.
+	Delay stats.Latency
+}
+
+// Run starts polling.
+func (c *NTPClient) Run(h *hostsim.Host) {
+	c.h = h
+	if c.Poll <= 0 {
+		c.Poll = 500 * sim.Millisecond
+	}
+	h.BindUDP(proto.PortNTP+1, c.onReply)
+	var tick func()
+	tick = func() {
+		c.poll()
+		h.After(c.Poll, tick)
+	}
+	// First poll after a short offset so hosts don't synchronize in
+	// lockstep with workload start.
+	h.After(c.Poll/4, tick)
+}
+
+func (c *NTPClient) poll() {
+	t1 := c.h.ClockNow()
+	m := proto.NTPMsg{Mode: proto.NTPModeClient, T1: t1}
+	c.h.SendUDP(c.Server, proto.PortNTP+1, proto.PortNTP, proto.AppendNTP(nil, m), 0)
+}
+
+func (c *NTPClient) onReply(_ proto.IP, _ uint16, payload []byte, _ int) {
+	m, err := proto.ParseNTP(payload)
+	if err != nil || m.Mode != proto.NTPModeServer {
+		return
+	}
+	t4 := c.h.LastRxSWTime()
+	// Classic NTP offset/delay estimators.
+	offset := ((m.T2 - m.T1) + (m.T3 - t4)) / 2
+	delay := (t4 - m.T1) - (m.T3 - m.T2)
+	if delay < 0 {
+		delay = 0
+	}
+	c.Exchanges++
+	c.Delay.Add(delay)
+	if c.OnMeasurement != nil {
+		c.OnMeasurement(Measurement{
+			At:     c.h.Now(),
+			Offset: offset,
+			// The unknowable path asymmetry bounds the measurement error
+			// at half the round-trip delay — queueing under load is what
+			// pushes NTP into the tens of microseconds.
+			ErrBound: delay / 2,
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package kv_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/kv"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// protoRig builds nClients protocol-level clients and nServers servers on
+// one switch and returns them plus a run function.
+func protoRig(nServers, nClients int, clientCfg func(i int, p *kv.ClientParams)) (
+	[]*kv.Server, []*kv.Client, func(end sim.Time)) {
+	n := netsim.New("net", 7)
+	sw := n.AddSwitch("sw")
+	var serverIPs []proto.IP
+	var servers []*kv.Server
+	for i := 0; i < nServers; i++ {
+		ip := proto.HostIP(uint32(100 + i))
+		serverIPs = append(serverIPs, ip)
+		h := n.AddHost("srv", ip)
+		n.ConnectHostSwitch(h, sw, 10*sim.Gbps, 1*sim.Microsecond)
+		s := kv.NewServer(kv.DefaultServerParams())
+		servers = append(servers, s)
+		h.SetApp(netsim.AppFunc(func(hh *netsim.Host) { s.Run(hh) }))
+	}
+	var clients []*kv.Client
+	for i := 0; i < nClients; i++ {
+		h := n.AddHost("cli", proto.HostIP(uint32(1+i)))
+		n.ConnectHostSwitch(h, sw, 10*sim.Gbps, 1*sim.Microsecond)
+		p := kv.DefaultClientParams(uint32(i), serverIPs)
+		p.WarmUp = 1 * sim.Millisecond
+		if clientCfg != nil {
+			clientCfg(i, &p)
+		}
+		c := kv.NewClient(p)
+		clients = append(clients, c)
+		h.SetApp(netsim.AppFunc(func(hh *netsim.Host) { c.Run(hh) }))
+	}
+	n.ComputeRoutes()
+	run := func(end sim.Time) {
+		s := sim.NewScheduler(0)
+		n.Attach(core.Env{Sched: s, Src: 1})
+		n.Start(end)
+		for {
+			at, ok := s.PeekTime()
+			if !ok || at >= end {
+				break
+			}
+			s.Step()
+		}
+	}
+	return servers, clients, run
+}
+
+func TestClosedLoopClientServer(t *testing.T) {
+	servers, clients, run := protoRig(2, 3, nil)
+	run(20 * sim.Millisecond)
+	var total uint64
+	for _, c := range clients {
+		if c.Completed == 0 {
+			t.Fatal("client completed nothing")
+		}
+		total += c.Completed
+		if c.Lat.Count() == 0 || c.Lat.Mean() <= 0 {
+			t.Fatal("no latency recorded")
+		}
+	}
+	var reads, writes uint64
+	for _, s := range servers {
+		reads += s.Reads
+		writes += s.Writes
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("servers: reads=%d writes=%d", reads, writes)
+	}
+	// 70% writes +/- noise.
+	frac := float64(writes) / float64(reads+writes)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("write fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	_, clients, run := protoRig(1, 1, func(i int, p *kv.ClientParams) {
+		p.Rate = 50_000
+		p.Outstanding = 0
+		p.WarmUp = 0
+	})
+	run(20 * sim.Millisecond)
+	got := float64(clients[0].Completed) / 0.020
+	if got < 35_000 || got > 65_000 {
+		t.Fatalf("open-loop rate %.0f, want ~50k", got)
+	}
+}
+
+func TestZipfKeySkewPartitioning(t *testing.T) {
+	// With zipf 1.8 and hash partitioning over two servers, the server
+	// responsible for key 0 (even keys) must see far more writes.
+	servers, _, run := protoRig(2, 2, nil)
+	run(20 * sim.Millisecond)
+	w0, w1 := servers[0].Writes, servers[1].Writes
+	if w0 < 2*w1 {
+		t.Fatalf("hot-key replica writes=%d, cold=%d; want heavy skew", w0, w1)
+	}
+}
+
+func TestClientRetransmitRescuesDrops(t *testing.T) {
+	servers, clients, run := protoRig(1, 1, func(i int, p *kv.ClientParams) {
+		p.Outstanding = 64
+		p.RetransmitAfter = 2 * sim.Millisecond
+		p.WarmUp = 0
+	})
+	// Squeeze the server's downlink so bursts drop.
+	// (reach into netsim via the server host's iface)
+	_ = servers
+	_, _, _ = servers, clients, run
+	// Build a fresh rig with a tiny queue instead.
+	n := netsim.New("net", 7)
+	sw := n.AddSwitch("sw")
+	sip := proto.HostIP(100)
+	sh := n.AddHost("srv", sip)
+	// Server downlink 10x slower than the client uplink, with a queue that
+	// only fits a couple of requests: bursts must drop.
+	idx := n.ConnectHostSwitch(sh, sw, 1*sim.Gbps, 1*sim.Microsecond)
+	sw.Ifaces()[idx].QueueCapBytes = 600
+	srv := kv.NewServer(kv.DefaultServerParams())
+	sh.SetApp(netsim.AppFunc(func(hh *netsim.Host) { srv.Run(hh) }))
+	ch := n.AddHost("cli", proto.HostIP(1))
+	n.ConnectHostSwitch(ch, sw, 10*sim.Gbps, 1*sim.Microsecond)
+	p := kv.DefaultClientParams(0, []proto.IP{sip})
+	p.Outstanding = 64
+	p.WarmUp = 0
+	p.RetransmitAfter = 2 * sim.Millisecond
+	cli := kv.NewClient(p)
+	ch.SetApp(netsim.AppFunc(func(hh *netsim.Host) { cli.Run(hh) }))
+	n.ComputeRoutes()
+	s := sim.NewScheduler(0)
+	n.Attach(core.Env{Sched: s, Src: 1})
+	n.Start(50 * sim.Millisecond)
+	for {
+		at, ok := s.PeekTime()
+		if !ok || at >= 50*sim.Millisecond {
+			break
+		}
+		s.Step()
+	}
+	if cli.Retransmits == 0 {
+		t.Fatal("expected retransmits with a 600-byte queue")
+	}
+	if cli.Completed == 0 {
+		t.Fatal("client wedged despite retransmit logic")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("client without rate/outstanding should panic")
+		}
+	}()
+	kv.NewClient(kv.ClientParams{Keys: 10, ZipfS: 1.0})
+}

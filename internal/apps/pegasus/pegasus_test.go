@@ -1,0 +1,129 @@
+package pegasus_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/kv"
+	"repro/internal/apps/pegasus"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+const vip = proto.IP(0x0a00ff01)
+
+func rig(t *testing.T, writeFrac float64) (*pegasus.Dataplane, []*kv.Server, *kv.Client, func(sim.Time)) {
+	t.Helper()
+	n := netsim.New("net", 11)
+	sw := n.AddSwitch("sw")
+	var serverIPs []proto.IP
+	var servers []*kv.Server
+	for i := 0; i < 2; i++ {
+		ip := proto.HostIP(uint32(100 + i))
+		serverIPs = append(serverIPs, ip)
+		h := n.AddHost("srv", ip)
+		n.ConnectHostSwitch(h, sw, 10*sim.Gbps, 1*sim.Microsecond)
+		s := kv.NewServer(kv.DefaultServerParams())
+		servers = append(servers, s)
+		h.SetApp(netsim.AppFunc(func(hh *netsim.Host) { s.Run(hh) }))
+	}
+	dp := pegasus.New(vip, serverIPs, 16)
+	sw.Dataplane = dp
+
+	ch := n.AddHost("cli", proto.HostIP(1))
+	n.ConnectHostSwitch(ch, sw, 10*sim.Gbps, 1*sim.Microsecond)
+	p := kv.DefaultClientParams(0, serverIPs)
+	p.VIP = vip
+	p.WriteFrac = writeFrac
+	p.WarmUp = 0
+	cli := kv.NewClient(p)
+	ch.SetApp(netsim.AppFunc(func(hh *netsim.Host) { cli.Run(hh) }))
+	n.ComputeRoutes()
+
+	run := func(end sim.Time) {
+		s := sim.NewScheduler(0)
+		n.Attach(core.Env{Sched: s, Src: 1})
+		n.Start(end)
+		for {
+			at, ok := s.PeekTime()
+			if !ok || at >= end {
+				break
+			}
+			s.Step()
+		}
+	}
+	return dp, servers, cli, run
+}
+
+func TestVIPInterceptionWorks(t *testing.T) {
+	dp, servers, cli, run := rig(t, 0.7)
+	run(10 * sim.Millisecond)
+	if cli.Completed == 0 {
+		t.Fatal("no completed operations through the VIP")
+	}
+	if dp.FwdReads == 0 || dp.FwdWrites == 0 {
+		t.Fatalf("directory forwarded reads=%d writes=%d", dp.FwdReads, dp.FwdWrites)
+	}
+	if servers[0].Reads+servers[1].Reads == 0 {
+		t.Fatal("no reads reached servers (Pegasus does not cache values)")
+	}
+}
+
+func TestWritesLoadBalanced(t *testing.T) {
+	// The paper's headline: Pegasus spreads even a 70%-write zipf-1.8
+	// workload nearly evenly over the replicas.
+	_, servers, _, run := rig(t, 0.7)
+	run(10 * sim.Millisecond)
+	w0, w1 := float64(servers[0].Writes), float64(servers[1].Writes)
+	if w0 == 0 || w1 == 0 {
+		t.Fatalf("writes not balanced at all: %v vs %v", w0, w1)
+	}
+	ratio := w0 / w1
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("write balance ratio = %v, want ~1.0", ratio)
+	}
+}
+
+func TestWriteMovesOwnership(t *testing.T) {
+	servers := []proto.IP{proto.HostIP(100), proto.HostIP(101)}
+	dp := pegasus.New(vip, servers, 4)
+	if got := dp.Owners(1); len(got) != 2 {
+		t.Fatalf("initial owners = %v", got)
+	}
+	// Simulate a SET for key 1 passing the switch.
+	n := netsim.New("net", 1)
+	sw := n.AddSwitch("sw")
+	for _, ip := range servers {
+		h := n.AddHost("s", ip)
+		n.ConnectHostSwitch(h, sw, sim.Gbps, sim.Microsecond)
+	}
+	n.ComputeRoutes()
+	s := sim.NewScheduler(0)
+	n.Attach(core.Env{Sched: s, Src: 1})
+	n.Start(sim.Second)
+	f := &proto.Frame{
+		Eth:     proto.Ethernet{},
+		IP:      proto.IPv4{Src: proto.HostIP(1), Dst: vip, Proto: proto.IPProtoUDP},
+		UDP:     proto.UDP{SrcPort: kv.ClientPort, DstPort: proto.PortKV},
+		Payload: proto.AppendKV(nil, proto.KVMsg{Op: proto.KVSet, Key: 1}),
+	}
+	f.Seal()
+	if dp.Process(sw, nil, f) {
+		t.Fatal("VIP frame should be consumed")
+	}
+	if got := dp.Owners(1); len(got) != 1 {
+		t.Fatalf("after write, owners = %v, want single owner", got)
+	}
+	// Untracked key is hash-partitioned, directory untouched.
+	f2 := &proto.Frame{
+		IP:      proto.IPv4{Src: proto.HostIP(1), Dst: vip, Proto: proto.IPProtoUDP},
+		UDP:     proto.UDP{SrcPort: kv.ClientPort, DstPort: proto.PortKV},
+		Payload: proto.AppendKV(nil, proto.KVMsg{Op: proto.KVGet, Key: 9999}),
+	}
+	f2.Seal()
+	dp.Process(sw, nil, f2)
+	if dp.Untracked != 1 {
+		t.Fatalf("untracked counter = %d", dp.Untracked)
+	}
+}

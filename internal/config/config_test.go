@@ -1,0 +1,221 @@
+package config_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/hostsim"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// smallSystem builds a 2-switch, 3-host system with a ping workload.
+func smallSystem() (*config.System, *int, *[]sim.Time) {
+	s := &config.System{}
+	s.AddSwitch("sw0")
+	s.AddSwitch("sw1")
+	s.Connect("sw0", "sw1", 40*sim.Gbps, sim.Microsecond)
+
+	received := new(int)
+	rtts := new([]sim.Time)
+
+	srv := s.AddHost("server", "sw1", 10*sim.Gbps, sim.Microsecond)
+	srv.Apps = append(srv.Apps, config.AppFuncs{
+		Protocol: func(h *netsim.Host) {
+			h.BindUDP(7, func(src proto.IP, sport uint16, p []byte, _ int) {
+				*received++
+				h.SendUDP(src, 7, sport, p, 0)
+			})
+		},
+		Detailed: func(h *hostsim.Host) {
+			h.BindUDP(7, func(src proto.IP, sport uint16, p []byte, _ int) {
+				*received++
+				h.SendUDP(src, 7, sport, p, 0)
+			})
+		},
+	})
+
+	for i, name := range []string{"cli0", "cli1"} {
+		c := s.AddHost(name, "sw0", 10*sim.Gbps, sim.Microsecond)
+		_ = i
+		c.Apps = append(c.Apps, config.AppFuncs{
+			Protocol: func(h *netsim.Host) { pingLoop(h.Now, h.After, h.SendUDP, h.BindUDP, rtts) },
+			Detailed: func(h *hostsim.Host) { pingLoop(h.Now, h.After, h.SendUDP, h.BindUDP, rtts) },
+		})
+	}
+	return s, received, rtts
+}
+
+// pingLoop is tier-agnostic client logic over the shared socket shape.
+func pingLoop(now func() sim.Time, after func(sim.Time, func()) *sim.Timer,
+	send func(proto.IP, uint16, uint16, []byte, int),
+	bind func(uint16, core.UDPHandler), rtts *[]sim.Time) {
+	var sentAt sim.Time
+	bind(8000, func(proto.IP, uint16, []byte, int) {
+		*rtts = append(*rtts, now()-sentAt)
+	})
+	var tick func()
+	tick = func() {
+		sentAt = now()
+		send(proto.HostIP(1), 8000, 7, nil, 64)
+		after(500*sim.Microsecond, tick)
+	}
+	tick()
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*config.System)
+		want   string
+	}{
+		{func(s *config.System) { s.AddSwitch("sw0") }, "duplicate switch"},
+		{func(s *config.System) { s.AddHost("server", "sw0", sim.Gbps, sim.Microsecond) }, "duplicate host"},
+		{func(s *config.System) { s.AddHost("x", "nope", sim.Gbps, sim.Microsecond) }, "unknown switch"},
+		{func(s *config.System) { s.AddHost("x", "sw0", 0, sim.Microsecond) }, "link rate"},
+		{func(s *config.System) { s.AddHost("x", "sw0", sim.Gbps, 0) }, "link delay"},
+		{func(s *config.System) { s.Connect("sw0", "sw0", sim.Gbps, sim.Microsecond) }, "self loop"},
+		{func(s *config.System) { s.Connect("sw0", "ghost", sim.Gbps, sim.Microsecond) }, "unknown switch"},
+		{func(s *config.System) { s.AddSwitch("island") }, "unreachable"},
+		{func(s *config.System) { s.Hosts[0].Cores = 0 }, "machine attributes"},
+		{func(s *config.System) {
+			s.Hosts[0].IP = proto.HostIP(9)
+			s.Hosts[1].IP = proto.HostIP(9)
+		}, "share IP"},
+	}
+	for _, c := range cases {
+		s, _, _ := smallSystem()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	s, _, _ := smallSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiateProtocolLevel(t *testing.T) {
+	s, received, rtts := smallSystem()
+	inst, err := s.Instantiate(config.Choices{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cores() != 1 {
+		t.Fatalf("protocol-level cores = %d, want 1", inst.Cores())
+	}
+	inst.RunSequential(10 * sim.Millisecond)
+	if *received == 0 || len(*rtts) == 0 {
+		t.Fatal("workload did not run")
+	}
+	// Protocol-level RTT: pure path latency.
+	if (*rtts)[0] > 12*sim.Microsecond {
+		t.Fatalf("protocol RTT %v unexpectedly high", (*rtts)[0])
+	}
+}
+
+// TestSameSystemDifferentInstantiations is the paper's headline property:
+// one system configuration, several simulation configurations.
+func TestSameSystemDifferentInstantiations(t *testing.T) {
+	// (a) everything protocol-level.
+	s, _, protoRtts := smallSystem()
+	inst, err := s.Instantiate(config.Choices{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.RunSequential(10 * sim.Millisecond)
+
+	// (b) the server detailed (mixed fidelity).
+	s2, received2, mixedRtts := smallSystem()
+	inst2, err := s2.Instantiate(config.Choices{
+		Seed:             1,
+		FidelityOverride: map[string]core.Fidelity{"server": core.Coarse},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Cores() != 3 { // net + host + nic
+		t.Fatalf("mixed cores = %d, want 3", inst2.Cores())
+	}
+	if inst2.Detailed["server"] == nil || inst2.NetHosts["cli0"] == nil {
+		t.Fatal("host registries incomplete")
+	}
+	inst2.RunSequential(10 * sim.Millisecond)
+	if *received2 == 0 {
+		t.Fatal("mixed-fidelity workload did not run")
+	}
+
+	// The detailed server adds stack latency the protocol level misses.
+	if (*mixedRtts)[0] <= (*protoRtts)[0] {
+		t.Fatalf("mixed RTT %v should exceed protocol RTT %v",
+			(*mixedRtts)[0], (*protoRtts)[0])
+	}
+
+	// (c) partitioned network: one partition per switch, still one system.
+	s3, received3, _ := smallSystem()
+	inst3, err := s3.Instantiate(config.Choices{
+		Seed:        1,
+		PartitionOf: func(name string) int { return int(name[2] - '0') },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst3.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(inst3.Parts))
+	}
+	inst3.RunSequential(10 * sim.Millisecond)
+	if *received3 == 0 {
+		t.Fatal("partitioned workload did not run")
+	}
+}
+
+func TestPartitionedCoupledRun(t *testing.T) {
+	s, received, _ := smallSystem()
+	inst, err := s.Instantiate(config.Choices{
+		Seed:        1,
+		PartitionOf: func(name string) int { return int(name[2] - '0') },
+		FidelityOverride: map[string]core.Fidelity{
+			"server": core.Coarse,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RunCoupled(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if *received == 0 {
+		t.Fatal("coupled partitioned run carried no traffic")
+	}
+}
+
+func TestClockConfiguration(t *testing.T) {
+	s, _, _ := smallSystem()
+	s.HostByName("server").OscDriftPPM = 40
+	s.HostByName("server").OscOffset = sim.Millisecond
+	inst, err := s.Instantiate(config.Choices{
+		Seed:             1,
+		FidelityOverride: map[string]core.Fidelity{"server": core.Coarse},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inst.Detailed["server"].Host
+	if h.Clock.Osc.DriftPPM != 40 || h.Clock.Osc.Offset != sim.Millisecond {
+		t.Fatal("oscillator configuration not applied")
+	}
+}
+
+func TestHostByName(t *testing.T) {
+	s, _, _ := smallSystem()
+	if s.HostByName("server") == nil || s.HostByName("ghost") != nil {
+		t.Fatal("HostByName broken")
+	}
+}

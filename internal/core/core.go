@@ -1,0 +1,135 @@
+// Package core defines the component model at the heart of SplitSim-Go:
+// the vocabulary with which component simulators (host, NIC, network
+// partition, memory-system piece) are composed into one end-to-end
+// simulation.
+//
+// The model deliberately mirrors SimBricks/SplitSim. Components exchange
+// timestamped messages over point-to-point channels with a fixed latency.
+// A component never observes a message earlier than its send time plus the
+// channel latency, which is what makes conservative parallel synchronization
+// (package link) and sequential execution (package orch) produce identical
+// results.
+package core
+
+import (
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Fidelity describes how much detail a component simulator models. Mixed-
+// fidelity simulation — the paper's first technique — is the act of choosing
+// different fidelities for different instances of the same component type.
+type Fidelity int
+
+const (
+	// ProtocolLevel models only protocol behavior (the ns-3 analog): no
+	// host software stack, no hardware detail.
+	ProtocolLevel Fidelity = iota
+	// Coarse is a functional full-system model with coarse timing, the
+	// qemu-with-instruction-counting analog.
+	Coarse
+	// Detailed is a timing-accurate full-system model, the gem5 analog.
+	Detailed
+)
+
+func (f Fidelity) String() string {
+	switch f {
+	case ProtocolLevel:
+		return "protocol"
+	case Coarse:
+		return "qemu"
+	case Detailed:
+		return "gem5"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is anything that can travel over a channel between two component
+// simulators. Size is the message's size in bytes on the wire (or bus); the
+// link layer uses it only for accounting, never for pacing — pacing is the
+// sending component's job.
+type Message interface {
+	Size() int
+}
+
+// Port is one direction of a channel as seen by the sending component. Send
+// stamps the payload with the sender's current virtual time; the peer
+// observes it exactly Latency later.
+type Port interface {
+	Send(payload Message)
+	Latency() sim.Time
+}
+
+// Sink receives messages from a peer's Port. Deliver runs at virtual time
+// at = sendTime + latency on the receiving component's scheduler.
+type Sink interface {
+	Deliver(at sim.Time, payload Message)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(at sim.Time, payload Message)
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(at sim.Time, payload Message) { f(at, payload) }
+
+// Env is a component's handle on virtual time. It pairs a scheduler with
+// the component's stable event-ordering source. Components must schedule
+// all local events through their Env: in sequential mode many components
+// share one scheduler, and only the per-component source keeps same-time
+// events of different components in an order identical to coupled mode.
+type Env struct {
+	Sched *sim.Scheduler
+	Src   int32
+}
+
+// Now returns the current virtual time.
+func (e Env) Now() sim.Time { return e.Sched.Now() }
+
+// At schedules fn at absolute time t with the component's ordering source.
+func (e Env) At(t sim.Time, fn func()) *sim.Timer { return e.Sched.AtSrc(t, e.Src, fn) }
+
+// After schedules fn d after the current time.
+func (e Env) After(d sim.Time, fn func()) *sim.Timer {
+	return e.Sched.AtSrc(e.Sched.Now()+d, e.Src, fn)
+}
+
+// Component is a simulator component that the orchestrator can run. A
+// component is attached to an Env (its own runner's scheduler in coupled
+// mode, a shared scheduler in sequential mode), then started once to seed
+// its initial events.
+type Component interface {
+	// Name returns a stable, unique, human-readable identifier.
+	Name() string
+	// Attach binds the component to the environment that will execute its
+	// events. Called exactly once, before Start.
+	Attach(env Env)
+	// Start schedules the component's initial events. end is the virtual
+	// time at which the simulation will stop.
+	Start(end sim.Time)
+}
+
+// UDPHandler receives a datagram delivered to a bound socket. It is shared
+// by the protocol-level and detailed host simulators so that one
+// application implementation runs unmodified at either fidelity — the
+// code-reuse property the paper's mixed-fidelity case studies depend on.
+type UDPHandler func(src proto.IP, srcPort uint16, payload []byte, virtual int)
+
+// CostAccount accumulates modeled host-CPU nanoseconds for one component.
+// The SplitSim performance model (package decomp) uses these totals to
+// predict simulation runtime: a component that accounts N busy nanoseconds
+// needs N nanoseconds of real CPU on the machine running the simulation.
+type CostAccount struct {
+	busy uint64
+}
+
+// Charge records ns nanoseconds of modeled simulation work.
+func (a *CostAccount) Charge(ns uint64) { a.busy += ns }
+
+// BusyNanos returns the total charged so far.
+func (a *CostAccount) BusyNanos() uint64 { return a.busy }
+
+// Coster is implemented by components that account their modeled cost.
+type Coster interface {
+	Cost() *CostAccount
+}

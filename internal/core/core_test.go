@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEnvScheduling(t *testing.T) {
+	s := sim.NewScheduler(0)
+	a := Env{Sched: s, Src: 7}
+	b := Env{Sched: s, Src: 3}
+	var order []int32
+	// Same-time events from different components order by Src, never by
+	// scheduling order — the cross-mode determinism contract.
+	a.At(sim.Microsecond, func() { order = append(order, 7) })
+	b.At(sim.Microsecond, func() { order = append(order, 3) })
+	a.After(2*sim.Microsecond, func() { order = append(order, 77) })
+	s.Run()
+	if len(order) != 3 || order[0] != 3 || order[1] != 7 || order[2] != 77 {
+		t.Fatalf("order = %v", order)
+	}
+	if a.Now() != 2*sim.Microsecond {
+		t.Fatalf("Now = %v", a.Now())
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	got := sim.Time(-1)
+	var sink Sink = SinkFunc(func(at sim.Time, m Message) { got = at })
+	sink.Deliver(5*sim.Nanosecond, nil)
+	if got != 5*sim.Nanosecond {
+		t.Fatal("SinkFunc did not dispatch")
+	}
+}
+
+func TestCostAccount(t *testing.T) {
+	var a CostAccount
+	a.Charge(7)
+	a.Charge(35)
+	if a.BusyNanos() != 42 {
+		t.Fatalf("busy = %d", a.BusyNanos())
+	}
+}
+
+func TestFidelityStrings(t *testing.T) {
+	cases := map[Fidelity]string{
+		ProtocolLevel: "protocol", Coarse: "qemu", Detailed: "gem5",
+		Fidelity(99): "unknown",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("%d -> %q, want %q", f, f.String(), want)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func meta() (*netsim.Topology, netsim.ThreeTierMeta) {
+	return netsim.ThreeTier(netsim.ThreeTierSpec{
+		Aggs: 4, RacksPerAgg: 6, HostsPerRack: 2,
+		CoreRate: 100 * sim.Gbps, AggRate: 40 * sim.Gbps,
+		HostRate: 10 * sim.Gbps, LinkDelay: sim.Microsecond,
+	})
+}
+
+func TestStrategyPartCounts(t *testing.T) {
+	topo, m := meta()
+	cases := []struct {
+		s    Strategy
+		want int
+	}{
+		{Strategy{Name: "s"}, 1},
+		{Strategy{Name: "ac"}, 5},
+		{Strategy{Name: "cr", N: 3}, 9},
+		{Strategy{Name: "cr", N: 1}, 25},
+		{Strategy{Name: "rs"}, 29},
+	}
+	for _, c := range cases {
+		assign := c.s.Assign(m, len(topo.Switches))
+		maxPart := 0
+		for _, p := range assign {
+			if p > maxPart {
+				maxPart = p
+			}
+		}
+		if got := maxPart + 1; got != c.want || c.s.Parts(m) != c.want {
+			t.Errorf("%v: parts = %d (Parts()=%d), want %d", c.s, got, c.s.Parts(m), c.want)
+		}
+	}
+}
+
+func TestStrategyACGroupsBlocks(t *testing.T) {
+	topo, m := meta()
+	assign := StrategyAC(m, len(topo.Switches))
+	for a := range m.Agg {
+		want := assign[m.Agg[a]]
+		if want == assign[m.Core] {
+			t.Fatal("agg must not share the core's partition")
+		}
+		for _, tor := range m.Tor[a] {
+			if assign[tor] != want {
+				t.Fatalf("rack of agg %d in wrong partition", a)
+			}
+		}
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if (Strategy{Name: "cr", N: 3}).String() != "cr3" {
+		t.Fatal("cr3 string")
+	}
+	if (Strategy{Name: "ac"}).String() != "ac" {
+		t.Fatal("ac string")
+	}
+}
+
+func TestEvenFatTreePartition(t *testing.T) {
+	topo, m := netsim.FatTree(8, 10*sim.Gbps, 40*sim.Gbps, sim.Microsecond)
+	for _, n := range []int{1, 2, 16, 32} {
+		assign := EvenFatTree(m, len(topo.Switches), n)
+		counts := map[int]int{}
+		for _, p := range assign {
+			counts[p]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: produced %d partitions", n, len(counts))
+		}
+		// Balanced within one chunk size.
+		min, max := 1<<30, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > (len(topo.Switches)+n-1)/n {
+			t.Fatalf("n=%d: unbalanced partitions %v", n, counts)
+		}
+	}
+}
+
+func TestMakespanBasics(t *testing.T) {
+	comps := []Comp{{Name: "a", BusyNs: 1000}, {Name: "b", BusyNs: 3000}}
+	links := []Link{{A: 0, B: 1, Msgs: 10, Quantum: sim.Microsecond}}
+	p := DefaultParams(10 * sim.Microsecond) // 10 sync quanta
+	r := Makespan(comps, links, p)
+	if r.SeqNs != 4000 {
+		t.Fatalf("SeqNs = %v", r.SeqNs)
+	}
+	wantOverhead := 10*p.SyncCostNs + 10*p.MsgCostNs
+	if r.Overhead["b"] != wantOverhead {
+		t.Fatalf("overhead = %v, want %v", r.Overhead["b"], wantOverhead)
+	}
+	if r.ParNs != 3000+wantOverhead {
+		t.Fatalf("ParNs = %v", r.ParNs)
+	}
+	if r.Speedup <= 0 || r.SimSpeed <= 0 {
+		t.Fatal("derived metrics missing")
+	}
+}
+
+func TestMakespanCoreLimit(t *testing.T) {
+	comps := []Comp{
+		{Name: "a", BusyNs: 100}, {Name: "b", BusyNs: 100},
+		{Name: "c", BusyNs: 100}, {Name: "d", BusyNs: 100},
+	}
+	p := DefaultParams(0)
+	p.Cores = 2
+	r := Makespan(comps, nil, p)
+	if r.ParNs != 200 {
+		t.Fatalf("2 cores, 4x100 load: makespan %v, want 200", r.ParNs)
+	}
+}
+
+func TestTrunkingReducesOverhead(t *testing.T) {
+	comps := []Comp{{Name: "a", BusyNs: 0}, {Name: "b", BusyNs: 0}}
+	p := DefaultParams(1 * sim.Millisecond)
+	// Six separate channels vs one trunk carrying the same messages.
+	var separate []Link
+	for i := 0; i < 6; i++ {
+		separate = append(separate, Link{A: 0, B: 1, Msgs: 100, Quantum: sim.Microsecond})
+	}
+	trunked := []Link{{A: 0, B: 1, Msgs: 600, Quantum: sim.Microsecond}}
+	rs := Makespan(comps, separate, p)
+	rt := Makespan(comps, trunked, p)
+	if rt.ParNs >= rs.ParNs {
+		t.Fatalf("trunking should cut sync overhead: trunk %v vs separate %v",
+			rt.ParNs, rs.ParNs)
+	}
+	// The saving is exactly 5 channels' sync streams.
+	saved := 5 * float64(sim.Millisecond/sim.Microsecond) * p.SyncCostNs
+	if diff := rs.ParNs - rt.ParNs; diff != saved {
+		t.Fatalf("saving = %v, want %v", diff, saved)
+	}
+}
+
+func TestNativeBarrierScalesWithParts(t *testing.T) {
+	p := DefaultParams(1 * sim.Millisecond)
+	mk := func(n int) ([]Comp, []Link) {
+		comps := make([]Comp, n)
+		var links []Link
+		for i := range comps {
+			comps[i] = Comp{Name: string(rune('a' + i)), BusyNs: 1e6}
+			if i > 0 {
+				links = append(links, Link{A: i - 1, B: i, Msgs: 0, Quantum: sim.Microsecond})
+			}
+		}
+		return comps, links
+	}
+	c2, l2 := mk(2)
+	c16, l16 := mk(16)
+	b2 := NativeBarrier(c2, l2, p)
+	b16 := NativeBarrier(c16, l16, p)
+	s16 := Makespan(c16, l16, p)
+	// Barrier cost per quantum grows with partition count...
+	if b16.ParNs <= b2.ParNs {
+		t.Fatal("barrier cost should grow with partitions")
+	}
+	// ...so SplitSim's neighbor-only sync beats it at high partition counts.
+	if s16.ParNs >= b16.ParNs {
+		t.Fatalf("SplitSim %v should beat the global barrier %v at 16 parts",
+			s16.ParNs, b16.ParNs)
+	}
+}
+
+func TestLPTProperty(t *testing.T) {
+	f := func(raw []uint16, coresRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cores := int(coresRaw)%8 + 1
+		loads := make([]float64, len(raw))
+		var total, max float64
+		for i, r := range raw {
+			loads[i] = float64(r)
+			total += loads[i]
+			if loads[i] > max {
+				max = loads[i]
+			}
+		}
+		ms := lpt(loads, cores)
+		// Makespan is at least the max item and the average bound, and at
+		// most total work.
+		if ms < max || ms < total/float64(cores)-1e-9 || ms > total+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeledAnalysisWTPG(t *testing.T) {
+	comps := []Comp{
+		{Name: "bottleneck", BusyNs: 10_000_000},
+		{Name: "idle1", BusyNs: 1_000_000},
+		{Name: "idle2", BusyNs: 2_000_000},
+	}
+	links := []Link{
+		{A: 0, B: 1, Msgs: 10, Quantum: sim.Microsecond},
+		{A: 0, B: 2, Msgs: 10, Quantum: sim.Microsecond},
+	}
+	a := ModeledAnalysis(comps, links, DefaultParams(1*sim.Millisecond))
+	if a.Sims[0].Name != "bottleneck" {
+		t.Fatalf("bottleneck should sort first, got %s", a.Sims[0].Name)
+	}
+	if a.Sims[0].WaitFrac > 0.05 {
+		t.Fatalf("bottleneck wait = %v, want ~0", a.Sims[0].WaitFrac)
+	}
+	bn := a.Bottlenecks(0.15)
+	if len(bn) != 1 || bn[0] != "bottleneck" {
+		t.Fatalf("Bottlenecks = %v", bn)
+	}
+}

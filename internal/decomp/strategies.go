@@ -1,0 +1,148 @@
+// Package decomp implements SplitSim's "parallelization through
+// decomposition": partition strategies that split a network topology into
+// component simulators, trunk-aware wiring of the resulting boundaries, and
+// the performance model that predicts simulation runtime from per-component
+// cost accounts.
+//
+// The performance model exists because this reproduction runs on a
+// single-core container: the paper measures wall-clock on a 48-core
+// machine, while we deterministically account each component's simulation
+// cost (busy nanoseconds) and compute the parallel makespan — who is the
+// bottleneck, how partitioning shifts it, and where synchronization
+// overhead erases the gains. See DESIGN.md's substitution table.
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// StrategyS places the whole network in one process — the paper's "s".
+func StrategyS(meta netsim.ThreeTierMeta, nSwitches int) []int {
+	return make([]int, nSwitches)
+}
+
+// StrategyAC gives each aggregation block (aggregation switch plus its
+// racks) its own process, plus one for the core switch — the paper's "ac".
+func StrategyAC(meta netsim.ThreeTierMeta, nSwitches int) []int {
+	assign := make([]int, nSwitches)
+	assign[meta.Core] = 0
+	for a, agg := range meta.Agg {
+		assign[agg] = 1 + a
+		for _, tor := range meta.Tor[a] {
+			assign[tor] = 1 + a
+		}
+	}
+	return assign
+}
+
+// StrategyCR groups n racks into a process and puts the core plus all
+// aggregation switches into one further process — the paper's "crN".
+func StrategyCR(meta netsim.ThreeTierMeta, nSwitches, n int) []int {
+	if n <= 0 {
+		panic("decomp: crN needs n > 0")
+	}
+	assign := make([]int, nSwitches)
+	assign[meta.Core] = 0
+	for _, agg := range meta.Agg {
+		assign[agg] = 0
+	}
+	rack := 0
+	for a := range meta.Tor {
+		for _, tor := range meta.Tor[a] {
+			assign[tor] = 1 + rack/n
+			rack++
+		}
+	}
+	return assign
+}
+
+// StrategyRS gives every rack its own process and every aggregation switch
+// and the core their own processes — the paper's "rs".
+func StrategyRS(meta netsim.ThreeTierMeta, nSwitches int) []int {
+	assign := make([]int, nSwitches)
+	next := 0
+	assign[meta.Core] = next
+	next++
+	for a, agg := range meta.Agg {
+		assign[agg] = next
+		next++
+		for _, tor := range meta.Tor[a] {
+			assign[tor] = next
+			next++
+		}
+	}
+	return assign
+}
+
+// Strategy names a three-tier partition strategy from the paper's table.
+type Strategy struct {
+	Name string
+	// N is the rack-group size for crN strategies.
+	N int
+}
+
+// Assign computes the switch-to-partition assignment for the strategy.
+func (s Strategy) Assign(meta netsim.ThreeTierMeta, nSwitches int) []int {
+	switch s.Name {
+	case "s":
+		return StrategyS(meta, nSwitches)
+	case "ac":
+		return StrategyAC(meta, nSwitches)
+	case "cr":
+		return StrategyCR(meta, nSwitches, s.N)
+	case "rs":
+		return StrategyRS(meta, nSwitches)
+	default:
+		panic(fmt.Sprintf("decomp: unknown strategy %q", s.Name))
+	}
+}
+
+// String renders the paper's name for the strategy ("cr3", "ac", ...).
+func (s Strategy) String() string {
+	if s.Name == "cr" {
+		return fmt.Sprintf("cr%d", s.N)
+	}
+	return s.Name
+}
+
+// Parts returns the number of network processes the strategy yields.
+func (s Strategy) Parts(meta netsim.ThreeTierMeta) int {
+	racks := meta.Spec.Aggs * meta.Spec.RacksPerAgg
+	switch s.Name {
+	case "s":
+		return 1
+	case "ac":
+		return 1 + meta.Spec.Aggs
+	case "cr":
+		return 1 + (racks+s.N-1)/s.N
+	case "rs":
+		return 1 + meta.Spec.Aggs + racks
+	default:
+		panic("decomp: unknown strategy")
+	}
+}
+
+// EvenFatTree splits a fat tree into n partitions by chunking switches in
+// pod-major canonical order (pods first, then core), the even partitioning
+// the Fig. 8 comparison uses.
+func EvenFatTree(meta netsim.FatTreeMeta, nSwitches, n int) []int {
+	if n <= 0 {
+		panic("decomp: need n > 0 partitions")
+	}
+	var order []int
+	for p := range meta.Agg {
+		order = append(order, meta.Agg[p]...)
+		order = append(order, meta.Edge[p]...)
+	}
+	order = append(order, meta.Core...)
+	if n > len(order) {
+		n = len(order)
+	}
+	assign := make([]int, nSwitches)
+	for i, sw := range order {
+		assign[sw] = i * n / len(order) // balanced chunks, exactly n parts
+	}
+	return assign
+}

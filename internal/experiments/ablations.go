@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the trunk adapter
+// (multiplexing many logical links over one synchronized channel) and the
+// synchronization quantum (the channel-latency lookahead).
+
+// TrunkAblationResult compares trunked against per-link channel wiring.
+type TrunkAblationResult struct {
+	Parts                 int
+	TrunkChannels         int
+	PerLinkChannels       int
+	TrunkSPerSimS         float64
+	PerLinkSPerSimS       float64
+	SavingFrac            float64
+	BoundaryMsgsPerSimSec float64
+}
+
+// String renders the comparison.
+func (r *TrunkAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: trunk adapters (FatTree8 partitions)\n")
+	t := stats.NewTable("wiring", "sync-channels", "modeled-run(s/sim-s)")
+	t.Row("per-link channels", r.PerLinkChannels, fmt.Sprintf("%.2f", r.PerLinkSPerSimS))
+	t.Row("trunk adapters", r.TrunkChannels, fmt.Sprintf("%.2f", r.TrunkSPerSimS))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "trunking removes %d sync streams: %.0f%% lower modeled runtime\n",
+		r.PerLinkChannels-r.TrunkChannels, r.SavingFrac*100)
+	return b.String()
+}
+
+// trunkAblationRun wires the same partitioned topology one way and runs it.
+func trunkAblationRun(trunk bool, opts Options) (*orch.Simulation, *netsim.Built, sim.Time) {
+	dur := opts.Dur(20*sim.Millisecond, 5*sim.Millisecond)
+	topo, meta := netsim.FatTree(8, 10*sim.Gbps, 40*sim.Gbps, 1*sim.Microsecond)
+	assign := decomp.EvenFatTree(meta, len(topo.Switches), 8)
+	b := topo.Build("net", opts.Seed, assign, nil)
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, b, trunk)
+	hosts := b.Hosts
+	perm := sim.NewRand(opts.Seed ^ 0xab).Perm(len(hosts))
+	const pktSize = 8900
+	gap := sim.FromSeconds(pktSize * 8 / 2e9)
+	for i := 0; i < len(hosts)/2; i++ {
+		a, c := hosts[perm[2*i]], hosts[perm[2*i+1]]
+		a.SetApp(&bulkApp{dst: c.IP(), gap: gap, size: pktSize})
+		c.BindUDP(proto.PortBulk, func(proto.IP, uint16, []byte, int) {})
+	}
+	s.RunSequential(dur)
+	return s, b, dur
+}
+
+// TrunkAblation measures the trunk adapter's saving.
+func TrunkAblation(opts Options) *TrunkAblationResult {
+	r := &TrunkAblationResult{Parts: 8}
+
+	st, bt, dur := trunkAblationRun(true, opts)
+	comps, links := st.ModelGraph(dur)
+	mt := decomp.Makespan(comps, links, decomp.DefaultParams(dur))
+	r.TrunkChannels = len(links)
+	r.TrunkSPerSimS = mt.ParNs / 1e9 / dur.Seconds()
+	r.BoundaryMsgsPerSimSec = float64(instantiate.BoundaryMsgs(bt)) / dur.Seconds()
+
+	sp, _, dur2 := trunkAblationRun(false, opts)
+	comps2, links2 := sp.ModelGraph(dur2)
+	mp := decomp.Makespan(comps2, links2, decomp.DefaultParams(dur2))
+	r.PerLinkChannels = len(links2)
+	r.PerLinkSPerSimS = mp.ParNs / 1e9 / dur2.Seconds()
+
+	r.SavingFrac = 1 - r.TrunkSPerSimS/r.PerLinkSPerSimS
+	return r
+}
+
+// SyncQuantumPoint is one lookahead setting's modeled runtime.
+type SyncQuantumPoint struct {
+	// QuantumFactor scales the channels' natural (latency) quantum.
+	QuantumFactor float64
+	SPerSimS      float64
+}
+
+// SyncQuantumAblationResult sweeps the synchronization interval.
+type SyncQuantumAblationResult struct {
+	Points []SyncQuantumPoint
+}
+
+// String renders the sweep.
+func (r *SyncQuantumAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: synchronization quantum (lookahead) sweep\n")
+	t := stats.NewTable("quantum (x latency)", "modeled-run(s/sim-s)")
+	for _, p := range r.Points {
+		t.Row(fmt.Sprintf("%.2f", p.QuantumFactor), fmt.Sprintf("%.2f", p.SPerSimS))
+	}
+	b.WriteString(t.String())
+	b.WriteString("smaller quanta mean more null messages per simulated second; the channel\n")
+	b.WriteString("latency is the largest quantum that preserves accuracy (conservative sync)\n")
+	return b.String()
+}
+
+// SyncQuantumAblation reuses one partitioned run and re-evaluates the
+// performance model under scaled synchronization quanta.
+func SyncQuantumAblation(opts Options) *SyncQuantumAblationResult {
+	s, _, dur := trunkAblationRun(true, opts)
+	comps, links := s.ModelGraph(dur)
+	r := &SyncQuantumAblationResult{}
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		scaled := make([]decomp.Link, len(links))
+		copy(scaled, links)
+		for i := range scaled {
+			scaled[i].Quantum = sim.Time(float64(scaled[i].Quantum) * f)
+		}
+		m := decomp.Makespan(comps, scaled, decomp.DefaultParams(dur))
+		r.Points = append(r.Points, SyncQuantumPoint{
+			QuantumFactor: f,
+			SPerSimS:      m.ParNs / 1e9 / dur.Seconds(),
+		})
+	}
+	return r
+}

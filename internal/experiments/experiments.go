@@ -1,0 +1,50 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness builds the system with the configuration
+// and orchestration layers, runs it, and prints rows/series shaped like the
+// paper's. EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Every harness accepts Options.Scale to shrink simulated durations (and,
+// where applicable, topology size) so the full suite runs in seconds as Go
+// benchmarks; Scale=1 reproduces the paper-scale configuration.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options tunes experiment scale and seeding.
+type Options struct {
+	// Scale multiplies simulated durations (1.0 = paper-scale defaults;
+	// benches use ~0.1).
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultOptions returns paper-scale settings.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 42} }
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Dur scales a base duration, clamping to a floor so heavily scaled-down
+// runs still produce meaningful statistics.
+func (o Options) Dur(base, floor sim.Time) sim.Time {
+	d := sim.Time(float64(base) * o.scale())
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+// stopwatch measures harness wall time.
+type stopwatch struct{ start time.Time }
+
+func newStopwatch() stopwatch   { return stopwatch{start: time.Now()} }
+func (s stopwatch) ms() float64 { return float64(time.Since(s.start).Microseconds()) / 1000 }

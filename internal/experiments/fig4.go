@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/kv"
+	"repro/internal/apps/netcache"
+	"repro/internal/apps/pegasus"
+	"repro/internal/decomp"
+	"repro/internal/hostsim"
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/nicsim"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig. 4 / §4.2 — the in-network-processing case study: NetCache vs
+// Pegasus under three simulation configurations (protocol-level ns-3, full
+// end-to-end, mixed fidelity), 2 servers + 3 clients on one switch,
+// zipf-1.8 keys, 70% writes, all clients at the same offered load.
+
+// Fig4Config names a simulation configuration.
+type Fig4Config string
+
+// The three configurations compared in Fig. 4.
+const (
+	ConfigNS3   Fig4Config = "ns3"
+	ConfigE2E   Fig4Config = "e2e"
+	ConfigMixed Fig4Config = "mixed"
+)
+
+// Fig4System names an in-network system.
+type Fig4System string
+
+// The two systems under evaluation.
+const (
+	SystemNetCache Fig4System = "netcache"
+	SystemPegasus  Fig4System = "pegasus"
+)
+
+// Fig4Cell is one bar of the figure plus the §4.2 resource numbers.
+type Fig4Cell struct {
+	System Fig4System
+	Config Fig4Config
+	// Tput is completed client operations per second.
+	Tput float64
+	// MeanLat and P99 are end-to-end request latencies.
+	MeanLat, P99 sim.Time
+	// Cores is the number of simulator components (one core each).
+	Cores int
+	// ModeledRunSPerSimS is the modeled simulation runtime in seconds per
+	// simulated second (from the decomposition performance model).
+	ModeledRunSPerSimS float64
+	// WallMs is this harness's measured wall-clock milliseconds.
+	WallMs float64
+	// SwitchHitFrac is the fraction of completed ops served by the switch.
+	SwitchHitFrac float64
+}
+
+// Fig4Result holds all six cells.
+type Fig4Result struct {
+	Dur   sim.Time
+	Cells []Fig4Cell
+}
+
+// Get returns the cell for (system, config).
+func (r *Fig4Result) Get(sys Fig4System, cfg Fig4Config) Fig4Cell {
+	for _, c := range r.Cells {
+		if c.System == sys && c.Config == cfg {
+			return c
+		}
+	}
+	panic("experiments: missing fig4 cell")
+}
+
+// String renders the figure's bar groups as a table.
+func (r *Fig4Result) String() string {
+	t := stats.NewTable("config", "system", "tput", "mean-lat", "p99-lat", "cores", "model-run(s/sim-s)", "switch-hit%")
+	for _, cfg := range []Fig4Config{ConfigNS3, ConfigE2E, ConfigMixed} {
+		for _, sys := range []Fig4System{SystemNetCache, SystemPegasus} {
+			c := r.Get(sys, cfg)
+			t.Row(string(cfg), string(sys), stats.FmtRate(c.Tput), c.MeanLat, c.P99,
+				c.Cores, fmt.Sprintf("%.1f", c.ModeledRunSPerSimS),
+				fmt.Sprintf("%.0f%%", c.SwitchHitFrac*100))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig 4: NetCache vs Pegasus throughput under different simulation configurations\n")
+	b.WriteString(t.String())
+	nc, pg := r.Get(SystemNetCache, ConfigNS3), r.Get(SystemPegasus, ConfigNS3)
+	fmt.Fprintf(&b, "protocol-level: NetCache/Pegasus = %.2f (paper: ~1.33)\n", nc.Tput/pg.Tput)
+	nc, pg = r.Get(SystemNetCache, ConfigE2E), r.Get(SystemPegasus, ConfigE2E)
+	fmt.Fprintf(&b, "end-to-end:     Pegasus/NetCache = %.2f (paper: ~1.47)\n", pg.Tput/nc.Tput)
+	return b.String()
+}
+
+// fig4Params collects the case study's fixed parameters.
+type fig4Params struct {
+	nServers, nClients int
+	serverLinkRate     int64
+	clientLinkRate     int64
+	valueSize          int
+	outstanding        int // closed-loop window per client (offered load)
+	hotKeys            int
+	serverParams       kv.ServerParams
+	warmup             sim.Time
+}
+
+func defaultFig4Params() fig4Params {
+	sp := kv.DefaultServerParams()
+	sp.ValueSize = 512 // reads return full objects
+	return fig4Params{
+		nServers: 2, nClients: 3,
+		serverLinkRate: 500 * sim.Mbps,
+		clientLinkRate: 10 * sim.Gbps,
+		valueSize:      64, // writes carry small updates
+		outstanding:    24,
+		hotKeys:        64,
+		serverParams:   sp,
+		warmup:         5 * sim.Millisecond,
+	}
+}
+
+const fig4VIP = proto.IP(0x0a00ff01)
+
+// fig4Build assembles one (system, config) instance.
+type fig4Instance struct {
+	sim     *orch.Simulation
+	clients []*kv.Client
+	dur     sim.Time
+	warmup  sim.Time
+}
+
+func fig4Build(sys Fig4System, cfg Fig4Config, opts Options, p fig4Params, dur sim.Time) *fig4Instance {
+	n := netsim.New("net", opts.Seed)
+	sw := n.AddSwitch("sw")
+
+	serverIPs := make([]proto.IP, p.nServers)
+	for i := range serverIPs {
+		serverIPs[i] = proto.HostIP(uint32(100 + i))
+	}
+
+	// Dataplane.
+	switch sys {
+	case SystemNetCache:
+		sw.Dataplane = netcache.New(p.hotKeys, p.serverParams.ValueSize)
+	case SystemPegasus:
+		sw.Dataplane = pegasus.New(fig4VIP, serverIPs, p.hotKeys)
+	}
+
+	s := orch.New()
+	s.Add(n)
+
+	detailedServers := cfg == ConfigE2E || cfg == ConfigMixed
+	detailedClients := cfg == ConfigE2E
+
+	// Servers.
+	for i, ip := range serverIPs {
+		srv := kv.NewServer(p.serverParams)
+		if detailedServers {
+			ext := n.AddExternal(sw, fmt.Sprintf("srv%d", i), p.serverLinkRate, ip)
+			dh := instantiate.NewDetailedHost(fmt.Sprintf("srv%d", i), ip,
+				hostsim.QemuParams(), serverNIC(p.serverLinkRate), opts.Seed+uint64(i))
+			dh.Host.AddApp(hostsim.AppFunc(func(h *hostsim.Host) { srv.Run(h) }))
+			dh.Wire(s, n, ext)
+		} else {
+			h := n.AddHost(fmt.Sprintf("srv%d", i), ip)
+			n.ConnectHostSwitch(h, sw, p.serverLinkRate, instantiate.EthLatency)
+			h.SetApp(netsim.AppFunc(func(hh *netsim.Host) { srv.Run(hh) }))
+		}
+	}
+
+	// Clients.
+	inst := &fig4Instance{sim: s, dur: dur, warmup: p.warmup}
+	for i := 0; i < p.nClients; i++ {
+		ip := proto.HostIP(uint32(1 + i))
+		cp := kv.DefaultClientParams(uint32(i), serverIPs)
+		cp.Outstanding = p.outstanding
+		cp.ValueSize = p.valueSize
+		cp.WarmUp = p.warmup
+		if sys == SystemPegasus {
+			cp.VIP = fig4VIP
+		}
+		cli := kv.NewClient(cp)
+		inst.clients = append(inst.clients, cli)
+		if detailedClients {
+			ext := n.AddExternal(sw, fmt.Sprintf("cli%d", i), p.clientLinkRate, ip)
+			dh := instantiate.NewDetailedHost(fmt.Sprintf("cli%d", i), ip,
+				hostsim.QemuParams(), nicsim.DefaultParams(), opts.Seed+uint64(10+i))
+			dh.Host.AddApp(hostsim.AppFunc(func(h *hostsim.Host) { cli.Run(h) }))
+			dh.Wire(s, n, ext)
+		} else {
+			h := n.AddHost(fmt.Sprintf("cli%d", i), ip)
+			n.ConnectHostSwitch(h, sw, p.clientLinkRate, instantiate.EthLatency)
+			h.SetApp(netsim.AppFunc(func(hh *netsim.Host) { cli.Run(hh) }))
+		}
+	}
+
+	n.ComputeRoutes()
+	return inst
+}
+
+// serverNIC configures the NIC model at the server link rate.
+func serverNIC(rate int64) nicsim.Params {
+	np := nicsim.DefaultParams()
+	np.Rate = rate
+	return np
+}
+
+// run executes the instance and extracts the cell metrics.
+func (inst *fig4Instance) run(sys Fig4System, cfg Fig4Config) Fig4Cell {
+	sw := newStopwatch()
+	inst.sim.RunSequential(inst.dur)
+	window := inst.dur - inst.warmup
+
+	cell := Fig4Cell{System: sys, Config: cfg, Cores: inst.sim.NumComponents(), WallMs: sw.ms()}
+	var lat stats.Latency
+	var completed, hits uint64
+	for _, c := range inst.clients {
+		completed += c.Completed
+		hits += c.SwitchHits
+		lat.Add(c.Lat.Percentile(50)) // aggregate via per-client medians below
+	}
+	// Merge latency across clients properly.
+	var all stats.Latency
+	for _, c := range inst.clients {
+		for _, pt := range c.Lat.CDF(200) {
+			all.Add(pt.Value)
+		}
+	}
+	cell.Tput = stats.Rate(int(completed), window)
+	cell.MeanLat = all.Mean()
+	cell.P99 = all.Percentile(99)
+	if completed > 0 {
+		cell.SwitchHitFrac = float64(hits) / float64(completed)
+	}
+	comps, links := inst.sim.ModelGraph(inst.dur)
+	model := decomp.Makespan(comps, links, decomp.DefaultParams(inst.dur))
+	if model.SimSpeed > 0 {
+		cell.ModeledRunSPerSimS = 1 / model.SimSpeed
+	}
+	return cell
+}
+
+// Fig4 runs all six cells.
+func Fig4(opts Options) *Fig4Result {
+	p := defaultFig4Params()
+	dur := opts.Dur(60*sim.Millisecond, 20*sim.Millisecond)
+	r := &Fig4Result{Dur: dur}
+	for _, cfg := range []Fig4Config{ConfigNS3, ConfigE2E, ConfigMixed} {
+		for _, sys := range []Fig4System{SystemNetCache, SystemPegasus} {
+			inst := fig4Build(sys, cfg, opts, p, dur)
+			r.Cells = append(r.Cells, inst.run(sys, cfg))
+		}
+	}
+	return r
+}

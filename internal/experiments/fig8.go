@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig. 8 — SplitSim parallelization versus the native (MPI-style,
+// global-barrier) parallelization of ns-3 and OMNeT++ on the DONS FatTree8
+// configuration (k=8 fat tree, 128 servers), evenly partitioned into 1, 2,
+// 16 and 32 components. Both schemes run the same partitions; they differ
+// only in synchronization: SplitSim syncs each channel with its neighbor at
+// the channel's latency lookahead, the native scheme synchronizes all
+// partitions in lockstep rounds whose cost grows with the partition count.
+//
+// The OMNeT++ flavor differs from the ns-3 flavor by its relative
+// per-event simulation cost (calibrated constant; see EXPERIMENTS.md).
+
+// Fig8Point is one (flavor, partitions) measurement.
+type Fig8Point struct {
+	Flavor       string // "ns3" or "omnet"
+	Parts        int
+	NativeS      float64 // native-parallel modeled runtime, s per sim-s
+	SplitSimS    float64 // SplitSim modeled runtime, s per sim-s
+	Reduction    float64 // 1 - SplitSim/Native
+	BoundaryMsgs uint64
+}
+
+// Fig8Result holds all points.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// Get returns the point for (flavor, parts).
+func (r *Fig8Result) Get(flavor string, parts int) Fig8Point {
+	for _, p := range r.Points {
+		if p.Flavor == flavor && p.Parts == parts {
+			return p
+		}
+	}
+	panic("experiments: missing fig8 point")
+}
+
+// String renders the figure.
+func (r *Fig8Result) String() string {
+	t := stats.NewTable("flavor", "parts", "native(s/sim-s)", "splitsim(s/sim-s)", "reduction")
+	best := 0.0
+	for _, p := range r.Points {
+		t.Row(p.Flavor, p.Parts, fmt.Sprintf("%.1f", p.NativeS),
+			fmt.Sprintf("%.1f", p.SplitSimS), fmt.Sprintf("%.0f%%", p.Reduction*100))
+		if p.Reduction > best {
+			best = p.Reduction
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig 8: SplitSim vs native (MPI/barrier) parallelization, FatTree8, 128 servers\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "max simulation-time reduction: %.0f%% (paper: up to 57%%)\n", best*100)
+	return b.String()
+}
+
+// omnetCostFactor scales netsim event costs to OMNeT++'s relative speed.
+const omnetCostFactor = 1.35
+
+// fig8Run builds the partitioned fat tree, drives the DONS-style workload,
+// and evaluates both synchronization schemes on the resulting cost graph.
+func fig8Run(flavor string, parts int, opts Options) Fig8Point {
+	dur := opts.Dur(20*sim.Millisecond, 5*sim.Millisecond)
+	topo, meta := netsim.FatTree(8, 10*sim.Gbps, 40*sim.Gbps, 1*sim.Microsecond)
+	assign := decomp.EvenFatTree(meta, len(topo.Switches), parts)
+	b := topo.Build("net", opts.Seed, assign, nil)
+
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, b, true)
+
+	// DONS-style workload: every server streams CBR traffic to a fixed
+	// partner in another pod.
+	hosts := b.Hosts
+	n := len(hosts)
+	perm := sim.NewRand(opts.Seed ^ 0xf8).Perm(n)
+	const pktSize = 8900
+	rate := 2.0 * 1e9 // 2 Gbps per host keeps event counts tractable
+	gap := sim.FromSeconds(pktSize * 8 / rate)
+	for i := 0; i < n/2; i++ {
+		a, c := hosts[perm[2*i]], hosts[perm[2*i+1]]
+		a.SetApp(&bulkApp{dst: c.IP(), gap: gap, size: pktSize})
+		c.SetApp(&bulkApp{dst: a.IP(), gap: gap, size: pktSize})
+		a.BindUDP(proto.PortBulk, func(proto.IP, uint16, []byte, int) {})
+		c.BindUDP(proto.PortBulk, func(proto.IP, uint16, []byte, int) {})
+	}
+
+	s.RunSequential(dur)
+
+	comps, links := s.ModelGraph(dur)
+	if flavor == "omnet" {
+		for i := range comps {
+			comps[i].BusyNs *= omnetCostFactor
+		}
+	}
+	mp := decomp.DefaultParams(dur)
+	native := decomp.NativeBarrier(comps, links, mp)
+	split := decomp.Makespan(comps, links, mp)
+	pt := Fig8Point{
+		Flavor: flavor, Parts: parts,
+		NativeS:      native.ParNs / 1e9 / dur.Seconds(),
+		SplitSimS:    split.ParNs / 1e9 / dur.Seconds(),
+		BoundaryMsgs: instantiate.BoundaryMsgs(b),
+	}
+	pt.Reduction = 1 - pt.SplitSimS/pt.NativeS
+	return pt
+}
+
+// Fig8 sweeps flavors and partition counts.
+func Fig8(opts Options) *Fig8Result {
+	r := &Fig8Result{}
+	for _, flavor := range []string{"ns3", "omnet"} {
+		for _, parts := range []int{1, 2, 16, 32} {
+			r.Points = append(r.Points, fig8Run(flavor, parts, opts))
+		}
+	}
+	return r
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/kv"
+	"repro/internal/decomp"
+	"repro/internal/hostsim"
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/nicsim"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig. 9 — simulation speed of different network-partition strategies on
+// the 1,200-host datacenter topology with background traffic, with a pair
+// of detailed hosts (qemu or gem5) attached through two NICs. The paper's
+// point: predicted performance is unintuitive — strategies with identical
+// core counts differ, and beyond a point more cores make the simulation
+// slower. Fig. 10 then uses the profiler to explain why.
+
+// Fig9Point is one (strategy, host kind) measurement.
+type Fig9Point struct {
+	Strategy string
+	HostKind string // "qemu" or "gem5"
+	// Parts is the number of network processes.
+	Parts int
+	// Cores includes the 4 host/NIC components, as the paper counts.
+	Cores int
+	// SimSpeed is simulated seconds per modeled wall second.
+	SimSpeed float64
+}
+
+// Fig9Result holds the sweep plus the raw model inputs for Fig. 10.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Get returns the point for (strategy, hostKind).
+func (r *Fig9Result) Get(strategy, hostKind string) Fig9Point {
+	for _, p := range r.Points {
+		if p.Strategy == strategy && p.HostKind == hostKind {
+			return p
+		}
+	}
+	panic("experiments: missing fig9 point")
+}
+
+// String renders the figure.
+func (r *Fig9Result) String() string {
+	t := stats.NewTable("strategy", "hosts", "net-parts", "cores", "sim-speed(sim-s/s)")
+	for _, p := range r.Points {
+		t.Row(p.Strategy, p.HostKind, p.Parts, p.Cores, fmt.Sprintf("%.2e", p.SimSpeed))
+	}
+	var b strings.Builder
+	b.WriteString("Fig 9: simulation speed per partition strategy (1200-host topology + detailed host pair)\n")
+	b.WriteString(t.String())
+	b.WriteString("paper's observations: strategies differ widely; same cores can differ; past a\n")
+	b.WriteString("point more cores slow the simulation; gem5 hosts shift the bottleneck to hosts\n")
+	return b.String()
+}
+
+// Fig9Strategies is the strategy set from the paper's table.
+var Fig9Strategies = []decomp.Strategy{
+	{Name: "s"},
+	{Name: "ac"},
+	{Name: "cr", N: 6},
+	{Name: "cr", N: 3},
+	{Name: "cr", N: 1},
+	{Name: "rs"},
+}
+
+// fig9Setup is the built-and-run system plus its model graph.
+type fig9Setup struct {
+	comps []decomp.Comp
+	links []decomp.Link
+	parts int
+	dur   sim.Time
+}
+
+// fig9Run builds the partitioned datacenter with a detailed host pair
+// exchanging request/response traffic, runs it, and returns the model
+// inputs.
+func fig9Run(strategy decomp.Strategy, hostKind string, opts Options) *fig9Setup {
+	dur := opts.Dur(500*sim.Millisecond, 100*sim.Millisecond)
+	spec := clockSyncSpec(opts)
+	topo, meta := netsim.ThreeTier(spec)
+	assign := strategy.Assign(meta, len(topo.Switches))
+
+	// Two detailed-host slots in different aggregation blocks.
+	slotA := meta.HostsByRack[0][0][0]
+	slotB := meta.HostsByRack[1][0][0]
+	topo.MakeExternal(slotA)
+	topo.MakeExternal(slotB)
+
+	b := topo.Build("net", opts.Seed, assign, nil)
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, b, true)
+
+	// Background bulk pairs. At full scale they load the core layer to
+	// ~90% with 1500-byte packets, the regime where ns-3 dominates the
+	// simulation (§3.1's 3-5x slowdown). Scaled-down runs sample the load
+	// (carry scale-fraction of the traffic) and the network components'
+	// modeled cost is scaled back up below — standard flow sampling.
+	// Pair endpoints follow datacenter locality: ~80% of pairs stay within
+	// a rack, ~15% within an aggregation block, the rest cross the core.
+	var bg []*netsim.Host
+	hostAgg := make(map[*netsim.Host]int)
+	hostRack := make(map[*netsim.Host]int)
+	rackID := 0
+	for a := range meta.HostsByRack {
+		for r := range meta.HostsByRack[a] {
+			for _, slot := range meta.HostsByRack[a][r] {
+				if h := b.Hosts[slot]; h != nil {
+					bg = append(bg, h)
+					hostAgg[h] = a
+					hostRack[h] = rackID
+				}
+			}
+			rackID++
+		}
+	}
+	rng := sim.NewRand(opts.Seed ^ 0x99)
+	order := rng.Perm(len(bg))
+	paired := make(map[*netsim.Host]bool)
+	var pairList [][2]*netsim.Host
+	for _, i := range order {
+		a := bg[i]
+		if paired[a] {
+			continue
+		}
+		var want func(c *netsim.Host) bool
+		switch r := rng.Float64(); {
+		case r < 0.80:
+			want = func(c *netsim.Host) bool { return hostRack[c] == hostRack[a] }
+		case r < 0.95:
+			want = func(c *netsim.Host) bool {
+				return hostAgg[c] == hostAgg[a] && hostRack[c] != hostRack[a]
+			}
+		default:
+			want = func(c *netsim.Host) bool { return hostAgg[c] != hostAgg[a] }
+		}
+		var partner *netsim.Host
+		for _, j := range order {
+			c := bg[j]
+			if c == a || paired[c] || !want(c) {
+				continue
+			}
+			partner = c
+			break
+		}
+		if partner == nil {
+			continue
+		}
+		paired[a], paired[partner] = true, true
+		pairList = append(pairList, [2]*netsim.Host{a, partner})
+	}
+	pairs := len(pairList)
+	pairRate := 0.9 * float64(spec.CoreRate) * float64(spec.Aggs) * opts.scale() / float64(pairs)
+	if max := 0.9 * float64(spec.HostRate); pairRate > max {
+		pairRate = max
+	}
+	const pktSize = 1500
+	gap := sim.FromSeconds(pktSize * 8 / pairRate)
+	for _, pr := range pairList {
+		pr[0].SetApp(&bulkApp{dst: pr[1].IP(), gap: gap, size: pktSize})
+		pr[1].BindUDP(proto.PortBulk, func(proto.IP, uint16, []byte, int) {})
+	}
+
+	// The detailed pair: a KV server and a closed-loop client.
+	hp := hostsim.QemuParams()
+	if hostKind == "gem5" {
+		hp = hostsim.Gem5Params()
+	}
+	mk := func(slot int, name string, seed uint64) *instantiate.DetailedHost {
+		dh := instantiate.NewDetailedHost(name, topo.Hosts[slot].IP, hp,
+			nicsim.DefaultParams(), seed)
+		dh.Wire(s, b.Parts[b.HostPart[slot]], b.Exts[slot])
+		return dh
+	}
+	hostA := mk(slotA, "hostA", opts.Seed+1)
+	hostB := mk(slotB, "hostB", opts.Seed+2)
+	srv := kv.NewServer(kv.DefaultServerParams())
+	hostB.Host.AddApp(hostsim.AppFunc(func(h *hostsim.Host) { srv.Run(h) }))
+	cp := kv.DefaultClientParams(0, []proto.IP{hostB.Host.LocalIP()})
+	cp.Outstanding = 4
+	cp.WarmUp = 0
+	cli := kv.NewClient(cp)
+	hostA.Host.AddApp(hostsim.AppFunc(func(h *hostsim.Host) { cli.Run(h) }))
+
+	s.RunSequential(dur)
+	comps, links := s.ModelGraph(dur)
+	// Undo the load sampling: each simulated background packet stands for
+	// 1/scale packets of the full-scale workload.
+	if f := 1 / opts.scale(); f > 1 {
+		for i := range comps {
+			if strings.HasPrefix(comps[i].Name, "net") {
+				comps[i].BusyNs *= f
+			}
+		}
+		for i := range links {
+			links[i].Msgs = uint64(float64(links[i].Msgs) * f)
+		}
+	}
+	return &fig9Setup{comps: comps, links: links, parts: strategy.Parts(meta), dur: dur}
+}
+
+// machineCores is the evaluation machine's core count (2x Xeon 6336Y).
+const machineCores = 48
+
+// Fig9 sweeps strategies and host kinds.
+func Fig9(opts Options) *Fig9Result {
+	r := &Fig9Result{}
+	for _, hostKind := range []string{"qemu", "gem5"} {
+		for _, st := range Fig9Strategies {
+			setup := fig9Run(st, hostKind, opts)
+			mp := decomp.DefaultParams(setup.dur)
+			mp.Cores = machineCores
+			model := decomp.Makespan(setup.comps, setup.links, mp)
+			r.Points = append(r.Points, Fig9Point{
+				Strategy: st.String(), HostKind: hostKind,
+				Parts: setup.parts, Cores: setup.parts + 4,
+				SimSpeed: model.SimSpeed,
+			})
+		}
+	}
+	return r
+}
+
+// Fig10Result carries the WTPGs for the ac and cr3 strategies.
+type Fig10Result struct {
+	ACDot   string
+	CR3Dot  string
+	ACText  string
+	CR3Text string
+	// ACBottlenecks and CR3Bottlenecks list the red nodes.
+	ACBottlenecks, CR3Bottlenecks []string
+}
+
+// String renders both profiles.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: wait-time-profile graphs (qemu hosts)\n")
+	b.WriteString("--- ac partition strategy ---\n")
+	b.WriteString(r.ACText)
+	fmt.Fprintf(&b, "bottlenecks: %v (paper: the rack-carrying ns-3 instances)\n", r.ACBottlenecks)
+	b.WriteString("--- cr3 partition strategy ---\n")
+	b.WriteString(r.CR3Text)
+	fmt.Fprintf(&b, "bottlenecks: %v (paper: shifting toward the qemu hosts)\n", r.CR3Bottlenecks)
+	return b.String()
+}
+
+// Fig10 profiles the ac and cr3 strategies with qemu hosts.
+func Fig10(opts Options) *Fig10Result {
+	r := &Fig10Result{}
+	for _, st := range []decomp.Strategy{{Name: "ac"}, {Name: "cr", N: 3}} {
+		setup := fig9Run(st, "qemu", opts)
+		mp := decomp.DefaultParams(setup.dur)
+		a := decomp.ModeledAnalysis(setup.comps, setup.links, mp)
+		g := decomp.BuildWTPGFromAnalysis(a)
+		switch st.String() {
+		case "ac":
+			r.ACDot, r.ACText = g.DOT(), g.Render()
+			r.ACBottlenecks = a.Bottlenecks(0.10)
+		default:
+			r.CR3Dot, r.CR3Text = g.DOT(), g.Render()
+			r.CR3Bottlenecks = a.Bottlenecks(0.10)
+		}
+	}
+	return r
+}

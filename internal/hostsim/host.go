@@ -1,0 +1,346 @@
+package hostsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pci"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/tcpstack"
+)
+
+// UDPHandler aliases the shared socket-callback type; handlers run after
+// the receive path has consumed CPU time.
+type UDPHandler = core.UDPHandler
+
+// App is an application process running on a detailed host.
+type App interface {
+	Start(h *Host)
+}
+
+// AppFunc adapts a function to App.
+type AppFunc func(h *Host)
+
+// Start implements App.
+func (f AppFunc) Start(h *Host) { f(h) }
+
+// Host is a detailed full-system host simulator instance; it implements
+// core.Component and tcpstack.Transport.
+type Host struct {
+	name string
+	env  core.Env
+	cost core.CostAccount
+	p    Params
+	ip   proto.IP
+	mac  proto.MAC
+	rng  *sim.Rand
+	end  sim.Time
+
+	// Clock is the guest system clock (oscillator + chrony corrections).
+	Clock DisciplinedClock
+
+	nicPort core.Port // PCI channel toward the NIC
+
+	// One busy-until horizon per simulated core; work lands on the least
+	// loaded core (deterministic lowest-index tie break).
+	cpuBusyUntil []sim.Time
+	cpuBusy      sim.Time // accumulated busy time, for utilization stats
+
+	txID       uint64
+	txWaiters  map[uint64]func(hw sim.Time)
+	phcID      uint64
+	phcWaiters map[uint64]func(hw sim.Time)
+
+	udpPorts map[uint16]UDPHandler
+	tcpConns map[tcpKey]*tcpstack.Conn
+	apps     []App
+
+	// lastHW and lastSW hold the hardware and software (driver-entry)
+	// timestamps of the packet currently delivered to a UDP handler.
+	lastHW sim.Time
+	lastSW sim.Time
+
+	// Statistics.
+	RxPackets, TxPackets uint64
+}
+
+type tcpKey struct {
+	remote proto.IP
+	rport  uint16
+	lport  uint16
+}
+
+// New creates a detailed host. seed derives all of the host's randomness
+// (timing noise); the oscillator is configured separately via Clock.Osc.
+func New(name string, ip proto.IP, p Params, seed uint64) *Host {
+	return &Host{
+		name: name, ip: ip, mac: proto.MACFromID(uint32(ip)), p: p,
+		rng:          sim.NewRand(seed ^ uint64(ip)*0x9e3779b97f4a7c15),
+		cpuBusyUntil: make([]sim.Time, 1),
+		txWaiters:    make(map[uint64]func(sim.Time)),
+		phcWaiters:   make(map[uint64]func(sim.Time)),
+		udpPorts:     make(map[uint16]UDPHandler),
+		tcpConns:     make(map[tcpKey]*tcpstack.Conn),
+	}
+}
+
+// SetCores configures the number of simulated cores (default 1 — the
+// paper's host configuration). Call before the simulation starts.
+func (h *Host) SetCores(n int) {
+	if n < 1 {
+		panic("hostsim: need at least one core")
+	}
+	h.cpuBusyUntil = make([]sim.Time, n)
+}
+
+// Cores returns the simulated core count.
+func (h *Host) Cores() int { return len(h.cpuBusyUntil) }
+
+// Name implements core.Component.
+func (h *Host) Name() string { return h.name }
+
+// Attach implements core.Component.
+func (h *Host) Attach(env core.Env) { h.env = env }
+
+// Start implements core.Component.
+func (h *Host) Start(end sim.Time) {
+	h.end = end
+	for _, a := range h.apps {
+		a.Start(h)
+	}
+}
+
+// Cost implements core.Coster.
+func (h *Host) Cost() *core.CostAccount { return &h.cost }
+
+// TimeTaxNsPerVirtualUs reports the fidelity tier's background simulation
+// cost for the makespan model.
+func (h *Host) TimeTaxNsPerVirtualUs() float64 { return h.p.SimTimeTaxNsPerUs }
+
+// Params returns the host's parameter set.
+func (h *Host) Params() Params { return h.p }
+
+// Fidelity returns the host simulator tier (qemu or gem5).
+func (h *Host) Fidelity() core.Fidelity { return h.p.Fidelity }
+
+// AddApp registers an application started with the simulation.
+func (h *Host) AddApp(a App) { h.apps = append(h.apps, a) }
+
+// BindNIC sets the outgoing PCI port toward the host's NIC.
+func (h *Host) BindNIC(p core.Port) { h.nicPort = p }
+
+// NICSink returns the sink receiving PCI messages from the NIC.
+func (h *Host) NICSink() core.Sink { return core.SinkFunc(h.fromNIC) }
+
+// --- app/system API -------------------------------------------------------
+
+// Now returns true virtual time (the simulator's global clock).
+func (h *Host) Now() sim.Time { return h.env.Now() }
+
+// End returns the simulation end time.
+func (h *Host) End() sim.Time { return h.end }
+
+// ClockNow returns the guest system clock — what gettimeofday would report,
+// including oscillator error and chrony corrections.
+func (h *Host) ClockNow() sim.Time { return h.Clock.Read(h.env.Now()) }
+
+// After schedules fn after d of true time (timer wheel; consumes no CPU).
+func (h *Host) After(d sim.Time, fn func()) *sim.Timer { return h.env.After(d, fn) }
+
+// At schedules fn at absolute true time t.
+func (h *Host) At(t sim.Time, fn func()) *sim.Timer { return h.env.At(t, fn) }
+
+// Rand returns the host's deterministic random source.
+func (h *Host) Rand() *sim.Rand { return h.rng }
+
+// LocalIP returns the host address.
+func (h *Host) LocalIP() proto.IP { return h.ip }
+
+// LocalMAC returns the host Ethernet address.
+func (h *Host) LocalMAC() proto.MAC { return h.mac }
+
+// jitter applies the fidelity tier's multiplicative timing noise.
+func (h *Host) jitter(d sim.Time) sim.Time {
+	if h.p.CostNoiseFrac == 0 || d == 0 {
+		return d
+	}
+	f := 1 + h.p.CostNoiseFrac*(2*h.rng.Float64()-1)
+	return sim.Time(float64(d) * f)
+}
+
+// Compute runs fn after a simulated core has spent d executing this work,
+// serialized behind previously queued work on the least-loaded core. This
+// is the mechanism that makes servers saturate and adds the latency the
+// protocol-level simulator cannot see.
+func (h *Host) Compute(d sim.Time, fn func()) {
+	d = h.jitter(d)
+	ci := 0
+	for i := 1; i < len(h.cpuBusyUntil); i++ {
+		if h.cpuBusyUntil[i] < h.cpuBusyUntil[ci] {
+			ci = i
+		}
+	}
+	start := h.env.Now()
+	if h.cpuBusyUntil[ci] > start {
+		start = h.cpuBusyUntil[ci]
+	}
+	h.cpuBusyUntil[ci] = start + d
+	h.cpuBusy += d
+	h.cost.Charge(h.p.SimCostPerEventNs)
+	h.env.At(h.cpuBusyUntil[ci], fn)
+}
+
+// CPUBusy returns accumulated busy time of the simulated core.
+func (h *Host) CPUBusy() sim.Time { return h.cpuBusy }
+
+// BindUDP registers a datagram handler on a local port.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) {
+	if _, dup := h.udpPorts[port]; dup {
+		panic(fmt.Sprintf("hostsim: %s: UDP port %d already bound", h.name, port))
+	}
+	h.udpPorts[port] = fn
+}
+
+// SendUDP transmits a datagram: the send syscall and stack consume CPU,
+// then the frame is submitted to the NIC over PCI.
+func (h *Host) SendUDP(dst proto.IP, srcPort, dstPort uint16, payload []byte, virtual int) {
+	f := &proto.Frame{
+		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
+		IP:  proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP},
+		UDP: proto.UDP{SrcPort: srcPort, DstPort: dstPort},
+
+		Payload:        payload,
+		VirtualPayload: virtual,
+	}
+	f.Seal()
+	h.sendFrame(f, false, nil)
+}
+
+// SendUDPTimestamped is SendUDP with hardware TX timestamping requested;
+// onTx receives the NIC hardware clock value at wire departure (the
+// SO_TIMESTAMPING path ptp4l uses).
+func (h *Host) SendUDPTimestamped(dst proto.IP, srcPort, dstPort uint16,
+	payload []byte, onTx func(hw sim.Time)) {
+	f := &proto.Frame{
+		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
+		IP:  proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP},
+		UDP: proto.UDP{SrcPort: srcPort, DstPort: dstPort},
+
+		Payload: payload,
+	}
+	f.Seal()
+	h.sendFrame(f, true, onTx)
+}
+
+// Output implements tcpstack.Transport: the TCP transmit path consumes CPU
+// like any other send.
+func (h *Host) Output(f *proto.Frame) { h.sendFrame(f, false, nil) }
+
+func (h *Host) sendFrame(f *proto.Frame, stamp bool, onTx func(sim.Time)) {
+	h.TxPackets++
+	bytes := proto.AppendFrame(nil, f)
+	h.Compute(h.p.TxStackCost, func() {
+		if h.nicPort == nil {
+			panic("hostsim: " + h.name + " has no NIC bound")
+		}
+		h.txID++
+		id := h.txID
+		if stamp && onTx != nil {
+			h.txWaiters[id] = onTx
+		}
+		h.nicPort.Send(pci.TxSubmit{ID: id, Frame: bytes, Timestamp: stamp})
+	})
+}
+
+// ReadPHC issues a PTP-hardware-clock read; fn receives the PHC value and
+// runs when the PCIe round trip completes.
+func (h *Host) ReadPHC(fn func(hw sim.Time)) {
+	h.phcID++
+	id := h.phcID
+	h.phcWaiters[id] = fn
+	h.nicPort.Send(pci.PHCRead{ID: id})
+}
+
+// DialTCP creates the sending side of a TCP flow toward a remote endpoint.
+// The conn is registered for demux; start it with StartFlow.
+func (h *Host) DialTCP(remote proto.IP, lport, rport uint16, algo tcpstack.CCAlgo,
+	bytes int64, onDone func()) *tcpstack.Conn {
+	c := tcpstack.NewSender(h, remote, proto.MACFromID(uint32(remote)), lport, rport, algo, bytes, onDone)
+	h.tcpConns[tcpKey{remote: remote, rport: rport, lport: lport}] = c
+	return c
+}
+
+// ListenTCP creates the receiving side of a TCP flow.
+func (h *Host) ListenTCP(remote proto.IP, lport, rport uint16, algo tcpstack.CCAlgo) *tcpstack.Conn {
+	c := tcpstack.NewReceiver(h, remote, proto.MACFromID(uint32(remote)), lport, rport, algo)
+	h.tcpConns[tcpKey{remote: remote, rport: rport, lport: lport}] = c
+	return c
+}
+
+// --- PCI receive path ------------------------------------------------------
+
+func (h *Host) fromNIC(at sim.Time, m core.Message) {
+	switch msg := m.(type) {
+	case pci.RxPacket:
+		h.receiveFrame(msg)
+	case pci.TxDone:
+		if fn, ok := h.txWaiters[msg.ID]; ok {
+			delete(h.txWaiters, msg.ID)
+			fn(msg.HWTime)
+		}
+	case pci.PHCValue:
+		if fn, ok := h.phcWaiters[msg.ID]; ok {
+			delete(h.phcWaiters, msg.ID)
+			fn(msg.HWTime)
+		}
+	default:
+		panic("hostsim: unexpected NIC message")
+	}
+}
+
+// receiveFrame models interrupt + driver + stack costs, then demuxes to the
+// socket layer.
+func (h *Host) receiveFrame(msg pci.RxPacket) {
+	h.RxPackets++
+	f, err := proto.ParseFrame(msg.Frame)
+	if err != nil {
+		return // corrupt frame: dropped by the driver
+	}
+	if f.Eth.EtherType != proto.EtherTypeIPv4 || f.IP.Dst != h.ip {
+		return
+	}
+	hw := msg.HWTime
+	// SO_TIMESTAMP software receive timestamp: taken when the driver sees
+	// the packet, before it waits behind other work on the CPU.
+	sw := h.ClockNow()
+	h.Compute(h.p.IRQOverhead+h.p.RxStackCost, func() {
+		h.demux(f, hw, sw)
+	})
+}
+
+func (h *Host) demux(f *proto.Frame, hw, sw sim.Time) {
+	switch f.IP.Proto {
+	case proto.IPProtoUDP:
+		h.lastHW = hw
+		h.lastSW = sw
+		if fn, ok := h.udpPorts[f.UDP.DstPort]; ok {
+			fn(f.IP.Src, f.UDP.SrcPort, f.Payload, f.VirtualPayload)
+		}
+	case proto.IPProtoTCP:
+		key := tcpKey{remote: f.IP.Src, rport: f.TCP.SrcPort, lport: f.TCP.DstPort}
+		if c, ok := h.tcpConns[key]; ok {
+			c.Input(f)
+		}
+	}
+}
+
+// LastRxHWTime returns the NIC hardware timestamp of the datagram currently
+// being handled (valid only inside a UDPHandler) — the SO_TIMESTAMPING
+// receive path.
+func (h *Host) LastRxHWTime() sim.Time { return h.lastHW }
+
+// LastRxSWTime returns the software (driver-entry) system-clock timestamp
+// of the datagram currently being handled — SO_TIMESTAMP semantics, which
+// exclude time the packet spent queued behind other work on the CPU.
+func (h *Host) LastRxSWTime() sim.Time { return h.lastSW }

@@ -1,0 +1,68 @@
+// Package hostsim is the detailed full-system host simulator — the analog
+// of qemu (instruction counting) and gem5 (detailed timing) running a Linux
+// guest. It models what the protocol-level simulator cannot: a finite CPU
+// that serializes interrupt handling, network-stack processing, and
+// application work; an imperfect local oscillator behind the system clock;
+// and a NIC attached over a latency-bearing PCI channel.
+//
+// Fidelity is a parameter, not a different implementation: Coarse (qemu)
+// uses fixed instruction-count timing, Detailed (gem5) uses higher, noisier
+// costs that stand in for cache and pipeline effects. The two tiers also
+// carry very different simulation-cost models — gem5 is orders of magnitude
+// slower to run — which is what the paper's mixed-fidelity trade-off and
+// partitioning studies (Figs. 4, 9) measure.
+package hostsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Params configures a host's timing and simulation-cost model.
+type Params struct {
+	Fidelity core.Fidelity
+
+	// Guest timing: virtual time consumed by OS operations on the single
+	// simulated core.
+	IRQOverhead sim.Time // per received-packet interrupt + driver entry
+	RxStackCost sim.Time // IP/UDP/TCP receive path + socket wakeup
+	TxStackCost sim.Time // syscall + stack + driver transmit path
+
+	// CostNoiseFrac adds multiplicative timing noise (+/- frac, uniform) to
+	// every CPU cost. The detailed tier uses it to stand in for cache and
+	// pipeline variability that instruction counting cannot see.
+	CostNoiseFrac float64
+
+	// Simulation-cost model (host-CPU nanoseconds the simulator itself
+	// burns; consumed by the decomp makespan model).
+	SimCostPerEventNs uint64  // per simulated packet/compute event
+	SimTimeTaxNsPerUs float64 // per virtual microsecond simulated
+}
+
+// QemuParams models qemu with instruction counting: deterministic coarse
+// timing, comparatively cheap to simulate.
+func QemuParams() Params {
+	return Params{
+		Fidelity:          core.Coarse,
+		IRQOverhead:       1200 * sim.Nanosecond,
+		RxStackCost:       2500 * sim.Nanosecond,
+		TxStackCost:       2000 * sim.Nanosecond,
+		CostNoiseFrac:     0,
+		SimCostPerEventNs: 3000,
+		SimTimeTaxNsPerUs: 12_000, // ~12 s of simulation per simulated s
+	}
+}
+
+// Gem5Params models gem5 detailed timing: slightly higher and noisy guest
+// costs, and a simulation cost two orders of magnitude above qemu's.
+func Gem5Params() Params {
+	return Params{
+		Fidelity:          core.Detailed,
+		IRQOverhead:       1600 * sim.Nanosecond,
+		RxStackCost:       3200 * sim.Nanosecond,
+		TxStackCost:       2600 * sim.Nanosecond,
+		CostNoiseFrac:     0.10,
+		SimCostPerEventNs: 25000,
+		SimTimeTaxNsPerUs: 400_000, // detailed timing: ~30x slower than qemu
+	}
+}

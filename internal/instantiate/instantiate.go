@@ -1,0 +1,121 @@
+// Package instantiate is SplitSim's "implementation choices" layer: given
+// a system description, it assembles concrete simulator instances — which
+// hosts are detailed (qemu/gem5) versus protocol-level, how network
+// partitions are wired (trunked or not), and how host/NIC/network
+// components connect — into an orch.Simulation ready to run. It provides
+// the library of common instantiation strategies the paper describes
+// rather than a one-size-fits-all automatic translator.
+package instantiate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hostsim"
+	"repro/internal/netsim"
+	"repro/internal/nicsim"
+	"repro/internal/orch"
+	"repro/internal/pci"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// EthLatency is the default Ethernet channel latency between a NIC and the
+// network simulator (the link's propagation delay).
+const EthLatency = 500 * sim.Nanosecond
+
+// DetailedHost is a full-fidelity host: a host simulator plus its NIC
+// simulator, coupled over a PCI channel — two simulator components, i.e.
+// two cores in the paper's accounting.
+type DetailedHost struct {
+	Host *hostsim.Host
+	NIC  *nicsim.NIC
+}
+
+// NewDetailedHost constructs the pair.
+func NewDetailedHost(name string, ip proto.IP, hp hostsim.Params, np nicsim.Params, seed uint64) *DetailedHost {
+	return &DetailedHost{
+		Host: hostsim.New(name, ip, hp, seed),
+		NIC:  nicsim.New(name+".nic", np),
+	}
+}
+
+// Wire registers the host and NIC on s and connects host<->NIC over PCI
+// and NIC<->network through the given external port. netComp is the
+// component owning ext (the network or one of its partitions).
+func (d *DetailedHost) Wire(s *orch.Simulation, netComp core.Component, ext *netsim.ExtPort) {
+	ext.SetEncode(true) // frames cross the Ethernet channel as raw bytes
+	s.Add(d.Host)
+	s.Add(d.NIC)
+	s.Connect(d.Host.Name()+".pci", pci.DefaultLatency, 0,
+		orch.Side{Comp: d.Host, Bind: d.Host.BindNIC, Sink: d.Host.NICSink()},
+		orch.Side{Comp: d.NIC, Bind: d.NIC.BindHost, Sink: d.NIC.HostSink()})
+	s.Connect(d.Host.Name()+".eth", EthLatency, 0,
+		orch.Side{Comp: d.NIC, Bind: d.NIC.BindNet, Sink: d.NIC.NetSink()},
+		orch.Side{Comp: netComp, Bind: ext.Bind, Sink: ext})
+}
+
+// WirePartitions registers every partition network of a Built topology on
+// s and connects the cross-partition boundaries. With trunk=true, all
+// boundary links between the same pair of partitions share one
+// synchronized trunk channel (the paper's trunk adapter); otherwise each
+// boundary link gets its own channel — the configuration the trunk
+// ablation compares.
+func WirePartitions(s *orch.Simulation, topo *netsim.Topology, b *netsim.Built, trunk bool) {
+	for _, part := range b.Parts {
+		s.Add(part)
+	}
+	if !trunk {
+		for _, bd := range b.Boundaries {
+			lat := topo.Links[bd.Link].Delay
+			s.Connect(fmt.Sprintf("bd%d", bd.Link), lat, 0,
+				orch.Side{Comp: b.Parts[bd.PartA], Bind: bd.PortA.Bind, Sink: bd.PortA},
+				orch.Side{Comp: b.Parts[bd.PartB], Bind: bd.PortB.Bind, Sink: bd.PortB})
+		}
+		return
+	}
+	type pairKey struct{ a, b int }
+	groups := make(map[pairKey][]netsim.Boundary)
+	var order []pairKey
+	for _, bd := range b.Boundaries {
+		k := pairKey{bd.PartA, bd.PartB}
+		if k.a > k.b {
+			k = pairKey{k.b, k.a}
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], bd)
+	}
+	for _, k := range order {
+		bds := groups[k]
+		lat := topo.Links[bds[0].Link].Delay
+		var pairs []orch.TrunkPair
+		for _, bd := range bds {
+			if d := topo.Links[bd.Link].Delay; d < lat {
+				lat = d // trunk syncs at the tightest member latency
+			}
+			pa, pb := bd.PortA, bd.PortB
+			if bd.PartA != k.a {
+				pa, pb = pb, pa
+			}
+			pairs = append(pairs, orch.TrunkPair{
+				BindA: pa.Bind, SinkA: pa,
+				BindB: pb.Bind, SinkB: pb,
+			})
+		}
+		s.ConnectTrunk(fmt.Sprintf("trunk%d-%d", k.a, k.b), lat, 0,
+			b.Parts[k.a], b.Parts[k.b], pairs)
+	}
+}
+
+// BoundaryMsgs sums frames delivered across all partition boundaries of a
+// Built topology (both directions) — input to the decomposition
+// performance model.
+func BoundaryMsgs(b *netsim.Built) uint64 {
+	var total uint64
+	for _, bd := range b.Boundaries {
+		total += bd.PortA.RxFrames + bd.PortB.RxFrames
+	}
+	return total
+}

@@ -1,0 +1,180 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Channel is a bidirectional SplitSim channel between two component
+// simulators. Each direction is an independent FIFO; both share the same
+// latency and synchronization interval.
+type Channel struct {
+	Name         string
+	Latency      sim.Time
+	SyncInterval sim.Time
+
+	a, b *Endpoint
+}
+
+// NewChannel creates a channel. latency must be positive — it is the
+// synchronization lookahead, and a zero-latency channel cannot be simulated
+// in parallel. syncInterval <= 0 defaults to the latency, the standard
+// SimBricks quantum.
+func NewChannel(name string, latency, syncInterval sim.Time) *Channel {
+	if latency <= 0 {
+		panic(fmt.Sprintf("link: channel %q needs positive latency", name))
+	}
+	if syncInterval <= 0 {
+		syncInterval = latency
+	}
+	c := &Channel{Name: name, Latency: latency, SyncInterval: syncInterval}
+	ab, ba := newPipe(), newPipe()
+	c.a = &Endpoint{ch: c, label: name + ".a", out: ab, in: ba, lastSentT: -1, lastRecvT: -1}
+	c.b = &Endpoint{ch: c, label: name + ".b", out: ba, in: ab, lastSentT: -1, lastRecvT: -1}
+	c.a.peer = c.b
+	c.b.peer = c.a
+	return c
+}
+
+// SideA returns the endpoint used by the first component.
+func (c *Channel) SideA() *Endpoint { return c.a }
+
+// SideB returns the endpoint used by the second component.
+func (c *Channel) SideB() *Endpoint { return c.b }
+
+// Endpoint is one side's view of a channel: it is both the component's
+// outgoing port and the runner's incoming message source. All methods must
+// be called from the owning runner's goroutine; only the underlying pipes
+// are shared with the peer.
+type Endpoint struct {
+	ch    *Channel
+	label string
+	peer  *Endpoint
+	out   *pipe
+	in    *pipe
+
+	runner *Runner
+	sinks  map[uint16]core.Sink
+	srcFor map[uint16]int32
+
+	lastSentT sim.Time // our clock when we last sent anything (-1: never)
+	lastRecvT sim.Time // peer clock as of the last received message (-1: none)
+	peerDone  bool
+
+	Stats Counters
+}
+
+// Label returns a human-readable endpoint name ("chan.a"/"chan.b").
+func (e *Endpoint) Label() string { return e.label }
+
+// PeerLabel returns the label of the opposite endpoint.
+func (e *Endpoint) PeerLabel() string { return e.peer.label }
+
+// PeerRunnerName returns the name of the runner that owns the opposite
+// endpoint ("" before it is attached).
+func (e *Endpoint) PeerRunnerName() string {
+	if e.peer.runner == nil {
+		return ""
+	}
+	return e.peer.runner.Name()
+}
+
+// Channel returns the owning channel.
+func (e *Endpoint) Channel() *Channel { return e.ch }
+
+// Latency implements core.Port.
+func (e *Endpoint) Latency() sim.Time { return e.ch.Latency }
+
+// Send transmits payload on sub-channel 0, stamped with the owning runner's
+// current virtual time. It implements core.Port.
+func (e *Endpoint) Send(payload core.Message) { e.SendSub(0, payload) }
+
+// SendSub transmits payload on the given sub-channel.
+func (e *Endpoint) SendSub(sub uint16, payload core.Message) {
+	if e.runner == nil {
+		panic("link: endpoint " + e.label + " not attached to a runner")
+	}
+	now := e.runner.sched.Now()
+	e.out.send(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
+	e.lastSentT = now
+	e.Stats.TxData++
+}
+
+// SubPort returns a core.Port bound to one sub-channel of this endpoint —
+// the trunk-adapter upper-layer view.
+func (e *Endpoint) SubPort(sub uint16) core.Port { return subPort{e: e, sub: sub} }
+
+type subPort struct {
+	e   *Endpoint
+	sub uint16
+}
+
+func (p subPort) Send(payload core.Message) { p.e.SendSub(p.sub, payload) }
+func (p subPort) Latency() sim.Time         { return p.e.ch.Latency }
+
+// SetSink registers the sink receiving sub-channel sub. srcID is the stable
+// event-ordering source for deliveries on this sub-channel; wiring code must
+// assign srcIDs identically in sequential and coupled mode for runs to be
+// comparable.
+func (e *Endpoint) SetSink(sub uint16, srcID int32, sink core.Sink) {
+	if e.sinks == nil {
+		e.sinks = make(map[uint16]core.Sink)
+		e.srcFor = make(map[uint16]int32)
+	}
+	e.sinks[sub] = sink
+	e.srcFor[sub] = srcID
+}
+
+// horizon returns the virtual time this side may safely advance to.
+func (e *Endpoint) horizon() sim.Time {
+	if e.peerDone {
+		return sim.Infinity
+	}
+	if e.lastRecvT < 0 {
+		return e.ch.Latency // peer starts at 0, so nothing arrives before latency
+	}
+	return e.lastRecvT + e.ch.Latency
+}
+
+// sendSync emits a pure synchronization message stamped now, unless a
+// message with that timestamp (or later) was already sent.
+func (e *Endpoint) sendSync(now sim.Time) {
+	if now <= e.lastSentT {
+		return
+	}
+	e.out.send(Message{T: now, Kind: KindSync})
+	e.lastSentT = now
+	e.Stats.TxSync++
+}
+
+// finish sends a final sync at end and closes the outgoing direction.
+func (e *Endpoint) finish(end sim.Time) {
+	e.sendSync(end)
+	e.out.close()
+}
+
+// handle processes one incoming message: it advances the recorded peer
+// clock and, for data, schedules delivery at T + latency on the runner's
+// scheduler with the sub-channel's ordering source.
+func (e *Endpoint) handle(m Message) {
+	if m.T < e.lastRecvT {
+		panic(fmt.Sprintf("link: %s received non-monotone timestamp %v after %v",
+			e.label, m.T, e.lastRecvT))
+	}
+	e.lastRecvT = m.T
+	if m.Kind == KindSync {
+		e.Stats.RxSync++
+		return
+	}
+	e.Stats.RxData++
+	sink, ok := e.sinks[m.Sub]
+	if !ok {
+		panic(fmt.Sprintf("link: %s has no sink for sub-channel %d", e.label, m.Sub))
+	}
+	at := m.T + e.ch.Latency
+	src := e.srcFor[m.Sub]
+	payload := m.Payload
+	e.runner.sched.AtSrc(at, src, func() { sink.Deliver(at, payload) })
+}

@@ -1,0 +1,63 @@
+package link
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// DirectPort is the sequential-mode counterpart of an Endpoint: it delivers
+// messages through a shared scheduler instead of a pipe between goroutines.
+// Delivery time (send time + latency) and event-ordering source are chosen
+// exactly as the coupled path chooses them, so a simulation wired with
+// DirectPorts is event-for-event identical to one wired with Channels.
+type DirectPort struct {
+	sched *sim.Scheduler
+	lat   sim.Time
+	src   int32
+	sink  core.Sink
+
+	// Stats counts data messages for parity with Endpoint accounting.
+	Stats Counters
+}
+
+// NewDirectPort creates a port delivering to sink after lat, using src as
+// the delivery events' ordering source.
+func NewDirectPort(sched *sim.Scheduler, lat sim.Time, src int32, sink core.Sink) *DirectPort {
+	if lat <= 0 {
+		panic("link: direct port needs positive latency")
+	}
+	return &DirectPort{sched: sched, lat: lat, src: src, sink: sink}
+}
+
+// Latency implements core.Port.
+func (p *DirectPort) Latency() sim.Time { return p.lat }
+
+// Send implements core.Port.
+func (p *DirectPort) Send(payload core.Message) {
+	at := p.sched.Now() + p.lat
+	p.Stats.TxData++
+	p.sched.AtSrc(at, p.src, func() { p.sink.Deliver(at, payload) })
+}
+
+// Trunk is the paper's trunk adapter: it multiplexes several upper-layer
+// logical channels over one synchronized channel, paying the per-channel
+// synchronization cost once instead of once per logical link. Messages are
+// tagged with a sub-channel identifier and demultiplexed at the receiver.
+type Trunk struct {
+	e *Endpoint
+}
+
+// NewTrunk wraps an endpoint as a trunk adapter.
+func NewTrunk(e *Endpoint) *Trunk { return &Trunk{e: e} }
+
+// Endpoint returns the underlying synchronized endpoint.
+func (t *Trunk) Endpoint() *Endpoint { return t.e }
+
+// Port returns the outgoing port for logical sub-channel sub.
+func (t *Trunk) Port(sub uint16) core.Port { return t.e.SubPort(sub) }
+
+// Bind registers the receiving sink for logical sub-channel sub with the
+// given event-ordering source.
+func (t *Trunk) Bind(sub uint16, srcID int32, sink core.Sink) {
+	t.e.SetSink(sub, srcID, sink)
+}

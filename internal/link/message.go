@@ -1,0 +1,59 @@
+package link
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind distinguishes payload-carrying messages from pure synchronization
+// ("null") messages.
+type Kind uint8
+
+const (
+	// KindSync carries no payload; it only advances the peer's horizon.
+	KindSync Kind = iota
+	// KindData carries a payload for a sub-channel.
+	KindData
+)
+
+func (k Kind) String() string {
+	if k == KindData {
+		return "data"
+	}
+	return "sync"
+}
+
+// Message is one unit on a channel. T is the sender's virtual clock at send
+// time; the receiver processes the payload at T + channel latency. Sub names
+// the logical sub-channel for trunk (multiplexed) channels; plain channels
+// use sub-channel 0.
+type Message struct {
+	T       sim.Time
+	Kind    Kind
+	Sub     uint16
+	Payload core.Message
+}
+
+// Counters is the lightweight profiler instrumentation embedded in every
+// adapter, mirroring the paper's three per-adapter counters: cycles blocked
+// waiting for synchronization, messages sent, and messages processed.
+// WaitNanos and ProcNanos are wall-clock nanoseconds; the remaining fields
+// are message counts.
+type Counters struct {
+	WaitNanos uint64 // blocked waiting for the peer's sync/data
+	ProcNanos uint64 // spent handling incoming messages
+	TxData    uint64
+	TxSync    uint64
+	RxData    uint64
+	RxSync    uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.WaitNanos += o.WaitNanos
+	c.ProcNanos += o.ProcNanos
+	c.TxData += o.TxData
+	c.TxSync += o.TxSync
+	c.RxData += o.RxData
+	c.RxSync += o.RxSync
+}

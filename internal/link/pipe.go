@@ -1,0 +1,103 @@
+// Package link implements SplitSim channels: the message-passing and
+// synchronization fabric that couples component simulators running as
+// parallel goroutines.
+//
+// The synchronization protocol is SimBricks': each side of a channel stamps
+// every outgoing message (data or sync) with its current virtual time, and a
+// receiver may only advance its own clock to lastReceivedTimestamp + channel
+// latency. Because a channel's messages are FIFO with monotone timestamps,
+// a component never sees a message "from the past", and the whole coupled
+// simulation is deterministic — bit-identical to sequential execution of the
+// same components (package orch verifies this property in its tests).
+//
+// The paper runs each component simulator as an OS process and carries
+// channels over lock-free shared-memory queues. Coupling external C++
+// simulators that way is not reproducible in offline pure Go, so components
+// here are goroutines and channels are unbounded in-process queues; the
+// protocol, message vocabulary, and timing semantics are unchanged (see
+// DESIGN.md, substitution table).
+package link
+
+import "sync"
+
+// pipe is an unbounded, closable FIFO queue carrying Messages from one
+// goroutine to another. Unboundedness matters: with bounded queues, two
+// components that both fill their outgoing queue while not draining incoming
+// ones can deadlock; SimBricks sizes its shared-memory rings generously for
+// the same reason.
+type pipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Message
+	head   int
+	closed bool
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// send enqueues m. Sending on a closed pipe panics (a protocol bug).
+func (p *pipe) send(m Message) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("link: send on closed pipe")
+	}
+	p.buf = append(p.buf, m)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// tryRecv dequeues without blocking. ok is false when the pipe is empty;
+// closed additionally reports that no message will ever arrive again.
+func (p *pipe) tryRecv() (m Message, ok, closed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.popLocked()
+}
+
+// recv dequeues, blocking until a message arrives or the pipe is closed and
+// drained.
+func (p *pipe) recv() (m Message, ok, closed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		m, ok, closed = p.popLocked()
+		if ok || closed {
+			return m, ok, closed
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pipe) popLocked() (Message, bool, bool) {
+	if p.head < len(p.buf) {
+		m := p.buf[p.head]
+		p.buf[p.head] = Message{}
+		p.head++
+		if p.head == len(p.buf) && p.head > 64 {
+			p.buf = p.buf[:0]
+			p.head = 0
+		}
+		return m, true, false
+	}
+	return Message{}, false, p.closed
+}
+
+// close marks the pipe as finished; blocked receivers wake up.
+func (p *pipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// len reports the number of queued messages.
+func (p *pipe) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf) - p.head
+}

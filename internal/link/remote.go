@@ -1,0 +1,51 @@
+package link
+
+import "repro/internal/sim"
+
+// NewHalf creates a channel endpoint whose peer lives in another OS
+// process: the local side is a normal Endpoint a Runner attaches to, and
+// the Remote handle is what a proxy (package proxy) pumps to and from the
+// transport. This is the SimBricks proxy mechanism the paper inherits for
+// scaling out across machines.
+//
+// Synchronization semantics are unchanged: the remote peer's messages
+// (data and sync) carry its virtual timestamps, and the local runner may
+// not advance past lastRemoteTimestamp + latency. The transport only has
+// to preserve order; wall-clock network delay costs wall time, never
+// simulated time.
+func NewHalf(name string, latency, syncInterval sim.Time) (*Endpoint, *Remote) {
+	c := NewChannel(name, latency, syncInterval)
+	// The local runner owns side A. Side B's pipes are driven by the
+	// Remote: what A sent shows up in remote.Recv, and remote.Inject
+	// feeds A's inbox.
+	r := &Remote{
+		fromLocal: c.a.out,
+		toLocal:   c.b.out,
+	}
+	return c.a, r
+}
+
+// Remote is the transport-facing half of a spliced channel.
+type Remote struct {
+	fromLocal *pipe // messages the local endpoint sent
+	toLocal   *pipe // inbox of the local endpoint
+}
+
+// Recv blocks for the next message produced by the local endpoint
+// (data or sync). ok is false once the local side finished and drained.
+func (r *Remote) Recv() (Message, bool) {
+	m, ok, _ := r.fromLocal.recv()
+	return m, ok
+}
+
+// TryRecv is the non-blocking variant.
+func (r *Remote) TryRecv() (m Message, ok, closed bool) {
+	return r.fromLocal.tryRecv()
+}
+
+// Inject delivers a message from the remote peer to the local endpoint.
+func (r *Remote) Inject(m Message) { r.toLocal.send(m) }
+
+// CloseToLocal signals that the remote peer finished (its final sync has
+// been injected); the local runner treats the channel as drained.
+func (r *Remote) CloseToLocal() { r.toLocal.close() }

@@ -1,0 +1,238 @@
+package link
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Runner executes one simulator "process": it owns a scheduler, the
+// components attached to it, and the channel endpoints connecting it to
+// peer runners. Runner implements the conservative synchronization loop:
+//
+//	drain incoming messages → compute horizon (min over endpoints of
+//	lastPeerClock + latency) → run local events strictly before the
+//	horizon → emit syncs → block on the limiting endpoint when stuck.
+//
+// The strict "before the horizon" bound plus per-channel ordering sources
+// make a coupled run bit-identical to sequential execution.
+type Runner struct {
+	name  string
+	sched *sim.Scheduler
+	eps   []*Endpoint
+	comps []core.Component
+	end   sim.Time
+
+	// OnAdvance, if set, is invoked after each batch of events with the
+	// runner's new virtual time; the profiler hooks in here.
+	OnAdvance func(now sim.Time)
+}
+
+// NewRunner creates a runner around sched.
+func NewRunner(name string, sched *sim.Scheduler) *Runner {
+	return &Runner{name: name, sched: sched}
+}
+
+// Name returns the runner's name.
+func (r *Runner) Name() string { return r.name }
+
+// Scheduler returns the runner's scheduler.
+func (r *Runner) Scheduler() *sim.Scheduler { return r.sched }
+
+// Endpoints returns the endpoints attached so far.
+func (r *Runner) Endpoints() []*Endpoint { return r.eps }
+
+// Attach binds endpoint e to this runner. Each endpoint belongs to exactly
+// one runner.
+func (r *Runner) Attach(e *Endpoint) {
+	if e.runner != nil {
+		panic("link: endpoint " + e.label + " already attached")
+	}
+	e.runner = r
+	r.eps = append(r.eps, e)
+}
+
+// AddComponent registers a component, attaching it to the runner's
+// scheduler with the given ordering source. Start is invoked when Run
+// begins. Wiring code must assign sources identically across execution
+// modes for results to be comparable.
+func (r *Runner) AddComponent(c core.Component, src int32) {
+	c.Attach(core.Env{Sched: r.sched, Src: src})
+	r.comps = append(r.comps, c)
+}
+
+// Counters returns the sum of all endpoint counters.
+func (r *Runner) Counters() Counters {
+	var total Counters
+	for _, e := range r.eps {
+		total.Add(e.Stats)
+	}
+	return total
+}
+
+// Run executes the runner until virtual time end. It is blocking; Group runs
+// many runners concurrently. Events scheduled at exactly end do not execute.
+func (r *Runner) Run(end sim.Time) {
+	r.end = end
+	for _, c := range r.comps {
+		c.Start(end)
+	}
+	for {
+		r.drainAll()
+		target := r.horizon()
+		if target > end {
+			target = end
+		}
+		// Cap the batch so peers receive syncs at least every sync
+		// interval of our virtual time.
+		if cap := r.syncCap(); cap < target {
+			target = cap
+		}
+		if target > r.sched.Now() || r.runnableBefore(target) {
+			r.sched.RunBefore(target)
+			r.sendSyncs()
+			if r.OnAdvance != nil {
+				r.OnAdvance(r.sched.Now())
+			}
+		}
+		if r.sched.Now() >= end {
+			for _, e := range r.eps {
+				e.finish(end)
+			}
+			return
+		}
+		r.drainAll()
+		if r.horizon() > r.sched.Now() {
+			continue // more headroom appeared; keep running
+		}
+		r.blockOnLimiting()
+	}
+}
+
+// runnableBefore reports whether a local event exists strictly before t.
+func (r *Runner) runnableBefore(t sim.Time) bool {
+	at, ok := r.sched.PeekTime()
+	return ok && at < t
+}
+
+// horizon is the minimum over endpoints of how far this runner may advance.
+func (r *Runner) horizon() sim.Time {
+	h := sim.Infinity
+	for _, e := range r.eps {
+		if eh := e.horizon(); eh < h {
+			h = eh
+		}
+	}
+	return h
+}
+
+// syncCap bounds batch size so that each peer hears from us at least once
+// per its channel's sync interval.
+func (r *Runner) syncCap() sim.Time {
+	c := sim.Infinity
+	for _, e := range r.eps {
+		floor := e.lastSentT
+		if floor < 0 {
+			floor = 0
+		}
+		if t := floor + e.ch.SyncInterval; t < c {
+			c = t
+		}
+	}
+	return c
+}
+
+func (r *Runner) sendSyncs() {
+	now := r.sched.Now()
+	for _, e := range r.eps {
+		e.sendSync(now)
+	}
+}
+
+// drainAll consumes every already-queued incoming message on every endpoint
+// without blocking.
+func (r *Runner) drainAll() {
+	for _, e := range r.eps {
+		for {
+			m, ok, closed := e.in.tryRecv()
+			if !ok {
+				if closed {
+					e.peerDone = true
+				}
+				break
+			}
+			start := time.Now()
+			e.handle(m)
+			e.Stats.ProcNanos += uint64(time.Since(start).Nanoseconds())
+		}
+	}
+}
+
+// blockOnLimiting waits for a message on the endpoint with the smallest
+// horizon, charging the blocked wall time to that endpoint's wait counter.
+func (r *Runner) blockOnLimiting() {
+	var limiting *Endpoint
+	h := sim.Infinity
+	for _, e := range r.eps {
+		if eh := e.horizon(); eh < h {
+			h = eh
+			limiting = e
+		}
+	}
+	if limiting == nil {
+		panic("link: runner " + r.name + " blocked with no endpoints")
+	}
+	start := time.Now()
+	m, ok, _ := limiting.in.recv()
+	limiting.Stats.WaitNanos += uint64(time.Since(start).Nanoseconds())
+	if !ok {
+		limiting.peerDone = true
+		return
+	}
+	limiting.handle(m)
+}
+
+// Group runs a set of coupled runners to a common end time.
+type Group struct {
+	Runners []*Runner
+}
+
+// Add appends runners to the group.
+func (g *Group) Add(rs ...*Runner) { g.Runners = append(g.Runners, rs...) }
+
+// Run starts every runner in its own goroutine and waits for all of them.
+// A panic in any runner is captured and returned as an error after the
+// remaining runners are unblocked by their peers' closed pipes.
+func (g *Group) Run(end sim.Time) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(g.Runners))
+	for i, r := range g.Runners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("runner %s: %v", r.name, p)
+					// Unblock peers waiting on us.
+					for _, e := range r.eps {
+						func() {
+							defer func() { recover() }()
+							e.out.close()
+						}()
+					}
+				}
+			}()
+			r.Run(end)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

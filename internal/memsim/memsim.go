@@ -1,0 +1,237 @@
+// Package memsim is a modular multi-core memory-system simulator — the
+// gem5 analog for the paper's "parallelizing sequential multi-core
+// simulations" study (Fig. 7). Cores execute synthetic instruction blocks
+// and issue memory transactions; private L1 hits are folded into block
+// timing, misses travel over a port-based packetized interface to a shared
+// memory controller, exactly the component boundary gem5's ports expose.
+//
+// The same components can be instantiated two ways:
+//
+//   - monolithic: one simulator component executes all cores and the memory
+//     controller (sequential gem5 — its simulation cost lands in a single
+//     cost account, so it cannot be spread over cores);
+//   - split: each core is its own component and the memory controller is
+//     another, connected through SplitSim channels whose latency is the
+//     interconnect latency (the paper's ~1000-LoC gem5 adapter).
+//
+// Both instantiations produce identical simulated timing; the split one
+// parallelizes. Tests verify the equivalence.
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Params configures the synthetic multicore workload and timing model.
+type Params struct {
+	// ClockHz is the simulated core frequency.
+	ClockHz int64
+	// BlockInstrs is the number of instructions per compute block between
+	// memory transactions.
+	BlockInstrs int
+	// CPI is cycles per instruction for L1-hit execution.
+	CPI float64
+	// MemLatency is the one-way interconnect latency core<->memory; in the
+	// split instantiation it becomes the channel latency. Every block ends
+	// in one shared-memory transaction (the block folds in the L1 hits);
+	// memory pressure is tuned via BlockInstrs, keeping the workload
+	// perfectly deterministic across instantiations.
+	MemLatency sim.Time
+	// MemService is the memory controller's per-transaction occupancy
+	// (bandwidth bound: one transaction per MemService).
+	MemService sim.Time
+}
+
+// DefaultParams models 4 GHz cores with a DDR-like shared memory.
+func DefaultParams() Params {
+	return Params{
+		ClockHz:     4_000_000_000,
+		BlockInstrs: 400,
+		CPI:         1.0,
+		MemLatency:  40 * sim.Nanosecond,
+		MemService:  15 * sim.Nanosecond,
+	}
+}
+
+// BlockTime returns the execution time of one compute block.
+func (p Params) BlockTime() sim.Time {
+	cycles := float64(p.BlockInstrs) * p.CPI
+	return sim.Time(cycles * float64(sim.Second) / float64(p.ClockHz))
+}
+
+// Simulation-cost model: gem5-like detailed simulation burns roughly a
+// microsecond of host CPU per simulated instruction-block plus a per-
+// transaction cost at the memory controller.
+const (
+	// CostPerBlockNs is charged per executed compute block (core side).
+	CostPerBlockNs = 180_000
+	// CostPerMemTxnNs is charged per memory transaction (controller side);
+	// the detailed DRAM/coherence model makes the controller the scaling
+	// bottleneck as core counts grow.
+	CostPerMemTxnNs = 41_000
+)
+
+// MemReq is a packetized memory read/write request.
+type MemReq struct {
+	Core int
+	ID   uint64
+}
+
+// Size implements core.Message (a 64-byte cache line plus header).
+func (MemReq) Size() int { return 72 }
+
+// MemResp completes a MemReq.
+type MemResp struct {
+	Core int
+	ID   uint64
+}
+
+// Size implements core.Message.
+func (MemResp) Size() int { return 16 }
+
+// Core simulates one processor core running the synthetic workload. It
+// implements core.Component; wire its port to a memory controller (split)
+// or drive it from a Monolithic wrapper.
+type Core struct {
+	name string
+	id   int
+	p    Params
+	env  core.Env
+	own  core.CostAccount
+	cost *core.CostAccount
+
+	memPort core.Port
+	pending uint64
+
+	// Blocks counts completed compute blocks (the progress metric used to
+	// validate split == monolithic).
+	Blocks uint64
+	// StallTime accumulates time waiting on memory.
+	StallTime sim.Time
+
+	end     sim.Time
+	issueAt sim.Time
+}
+
+// NewCore creates core number id.
+func NewCore(id int, p Params) *Core {
+	c := &Core{name: fmt.Sprintf("core%d", id), id: id, p: p}
+	c.cost = &c.own
+	return c
+}
+
+// UseCost redirects the core's simulation-cost charges to a shared account
+// (used by the monolithic instantiation).
+func (c *Core) UseCost(a *core.CostAccount) { c.cost = a }
+
+// Name implements core.Component.
+func (c *Core) Name() string { return c.name }
+
+// Attach implements core.Component.
+func (c *Core) Attach(env core.Env) { c.env = env }
+
+// Cost implements core.Coster.
+func (c *Core) Cost() *core.CostAccount { return c.cost }
+
+// TimeTaxNsPerVirtualUs reports the split-gem5 per-process idle cost.
+func (c *Core) TimeTaxNsPerVirtualUs() float64 { return 50 }
+
+// BindMem sets the outgoing port toward the memory controller.
+func (c *Core) BindMem(p core.Port) { c.memPort = p }
+
+// MemSink returns the sink receiving memory responses.
+func (c *Core) MemSink() core.Sink { return core.SinkFunc(c.onResp) }
+
+// Start implements core.Component.
+func (c *Core) Start(end sim.Time) {
+	c.end = end
+	c.runBlock()
+}
+
+// runBlock executes one compute block then issues a memory transaction.
+func (c *Core) runBlock() {
+	c.env.After(c.p.BlockTime(), func() {
+		c.Blocks++
+		c.cost.Charge(CostPerBlockNs)
+		c.pending++
+		c.issueAt = c.env.Now()
+		c.memPort.Send(MemReq{Core: c.id, ID: c.pending})
+	})
+}
+
+func (c *Core) onResp(at sim.Time, m core.Message) {
+	resp := m.(MemResp)
+	if resp.ID != c.pending {
+		panic("memsim: out-of-order memory response")
+	}
+	c.StallTime += at - c.issueAt
+	c.runBlock()
+}
+
+// Mem is the shared memory controller component.
+type Mem struct {
+	name string
+	p    Params
+	env  core.Env
+	own  core.CostAccount
+	cost *core.CostAccount
+
+	ports map[int]core.Port // per-core response ports
+
+	busyUntil sim.Time
+	// Txns counts served transactions.
+	Txns uint64
+}
+
+// NewMem creates the controller.
+func NewMem(p Params) *Mem {
+	m := &Mem{name: "memctl", p: p, ports: make(map[int]core.Port)}
+	m.cost = &m.own
+	return m
+}
+
+// UseCost redirects the controller's cost charges to a shared account.
+func (m *Mem) UseCost(a *core.CostAccount) { m.cost = a }
+
+// Name implements core.Component.
+func (m *Mem) Name() string { return m.name }
+
+// Attach implements core.Component.
+func (m *Mem) Attach(env core.Env) { m.env = env }
+
+// Start implements core.Component.
+func (m *Mem) Start(end sim.Time) {}
+
+// Cost implements core.Coster.
+func (m *Mem) Cost() *core.CostAccount { return m.cost }
+
+// TimeTaxNsPerVirtualUs reports the controller's idle simulation cost.
+func (m *Mem) TimeTaxNsPerVirtualUs() float64 { return 20 }
+
+// BindCore sets the response port toward core id.
+func (m *Mem) BindCore(id int, p core.Port) { m.ports[id] = p }
+
+// ReqSink returns the sink receiving memory requests.
+func (m *Mem) ReqSink() core.Sink { return core.SinkFunc(m.onReq) }
+
+// onReq serves a transaction: bandwidth-bound occupancy, then respond.
+func (m *Mem) onReq(at sim.Time, msg core.Message) {
+	req := msg.(MemReq)
+	m.cost.Charge(CostPerMemTxnNs)
+	m.Txns++
+	start := m.env.Now()
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	m.busyUntil = start + m.p.MemService
+	port, ok := m.ports[req.Core]
+	if !ok {
+		panic(fmt.Sprintf("memsim: no port for core %d", req.Core))
+	}
+	m.env.At(m.busyUntil, func() {
+		port.Send(MemResp{Core: req.Core, ID: req.ID})
+	})
+}

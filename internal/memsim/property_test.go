@@ -1,0 +1,71 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/orch"
+	"repro/internal/sim"
+)
+
+// Property: for random core counts and workload parameters, the split
+// instantiation simulates exactly the monolithic one — the validation the
+// paper performs "through detailed simulator logs with timestamps",
+// mechanized.
+func TestSplitEqualsMonolithicProperty(t *testing.T) {
+	f := func(nRaw, blockRaw, serviceRaw uint8) bool {
+		n := int(nRaw)%6 + 1
+		p := DefaultParams()
+		p.BlockInstrs = 100 + int(blockRaw)%800
+		p.MemService = sim.Time(5+int(serviceRaw)%40) * sim.Nanosecond
+		const end = 300 * sim.Microsecond
+
+		mono := NewMonolithic("gem5", n, p)
+		sm := orch.New()
+		sm.Add(mono)
+		sm.RunSequential(end)
+
+		ss := orch.New()
+		cores, mem := BuildSplit(ss, n, p)
+		ss.RunSequential(end)
+
+		if mem.Txns != mono.Mem().Txns {
+			return false
+		}
+		for i, c := range cores {
+			if c.Blocks != mono.Cores()[i].Blocks ||
+				c.StallTime != mono.Cores()[i].StallTime {
+				return false
+			}
+		}
+		return mono.Cores()[0].Blocks > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total progress is monotone in simulated duration.
+func TestProgressMonotoneInDuration(t *testing.T) {
+	blocks := func(end sim.Time) uint64 {
+		s := orch.New()
+		cores, _ := BuildSplit(s, 3, DefaultParams())
+		s.RunSequential(end)
+		var total uint64
+		for _, c := range cores {
+			total += c.Blocks
+		}
+		return total
+	}
+	b1 := blocks(200 * sim.Microsecond)
+	b2 := blocks(400 * sim.Microsecond)
+	b3 := blocks(800 * sim.Microsecond)
+	if !(b1 < b2 && b2 < b3) {
+		t.Fatalf("progress not monotone: %d %d %d", b1, b2, b3)
+	}
+	// Steady state: doubling the duration roughly doubles the work.
+	ratio := float64(b3-b2) / float64(b2-b1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("steady-state rate not linear: ratio %.2f", ratio)
+	}
+}

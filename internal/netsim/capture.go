@@ -1,0 +1,20 @@
+package netsim
+
+import (
+	"repro/internal/pcap"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// AttachPcap taps an interface into a pcap writer: every frame the
+// interface transmits is recorded with its virtual timestamp. Elided
+// virtual payloads appear as pcap snap-length truncation, so standard
+// tools (tcpdump, Wireshark) read the captures directly.
+func AttachPcap(i *Iface, w *pcap.Writer) {
+	i.Tap = func(now sim.Time, f *proto.Frame) {
+		// Errors deliberately stop the capture rather than the simulation.
+		if err := w.WritePacket(now, f.WireLen(), proto.AppendFrame(nil, f)); err != nil {
+			i.Tap = nil
+		}
+	}
+}

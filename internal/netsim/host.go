@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// UDPHandler aliases the shared socket-callback type.
+type UDPHandler = core.UDPHandler
+
+// App is a protocol-level application bound to a host. Protocol-level apps
+// run with zero host processing cost — exactly the ns-3 modeling gap the
+// paper's case studies expose.
+type App interface {
+	Start(h *Host)
+}
+
+// AppFunc adapts a function to App.
+type AppFunc func(h *Host)
+
+// Start implements App.
+func (f AppFunc) Start(h *Host) { f(h) }
+
+// Host is a protocol-level end host: an IP/UDP/TCP stack and an application,
+// with no CPU, OS, or NIC model.
+type Host struct {
+	net   *Network
+	name  string
+	ip    proto.IP
+	mac   proto.MAC
+	iface *Iface
+	app   App
+	rng   *sim.Rand
+
+	udpPorts map[uint16]UDPHandler
+	tcpConns map[tcpKey]*TCPConn
+
+	// Statistics.
+	RxPackets, TxPackets uint64
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+func (h *Host) nodeName() string { return h.name }
+
+// IP returns the host address.
+func (h *Host) IP() proto.IP { return h.ip }
+
+// LocalIP returns the host address (alias used by the shared app API).
+func (h *Host) LocalIP() proto.IP { return h.ip }
+
+// MAC returns the host's Ethernet address.
+func (h *Host) MAC() proto.MAC { return h.mac }
+
+// Iface returns the host's link interface.
+func (h *Host) Iface() *Iface { return h.iface }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// Rand returns the host's private deterministic random source.
+func (h *Host) Rand() *sim.Rand { return h.rng }
+
+// Now returns the current virtual time.
+func (h *Host) Now() sim.Time { return h.net.env.Now() }
+
+// End returns the simulation end time.
+func (h *Host) End() sim.Time { return h.net.end }
+
+// After schedules fn d from now.
+func (h *Host) After(d sim.Time, fn func()) *sim.Timer { return h.net.env.After(d, fn) }
+
+// At schedules fn at absolute time t.
+func (h *Host) At(t sim.Time, fn func()) *sim.Timer { return h.net.env.At(t, fn) }
+
+// SetApp installs the host application; it starts when the network starts.
+func (h *Host) SetApp(a App) { h.app = a }
+
+// Compute models application CPU time. A protocol-level host has no CPU:
+// the ns-3 idiom is Simulator::Schedule(delay, respond), i.e. processing
+// becomes a pure delay with unbounded concurrency — latency is modeled,
+// capacity is not. That missing queueing/serialization is exactly the
+// modeling gap the paper's in-network case study exposes.
+func (h *Host) Compute(d sim.Time, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	h.After(d, fn)
+}
+
+// BindUDP registers a datagram handler for a local port.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) {
+	if _, dup := h.udpPorts[port]; dup {
+		panic(fmt.Sprintf("netsim: %s: UDP port %d already bound", h.name, port))
+	}
+	h.udpPorts[port] = fn
+}
+
+// SendUDP transmits a datagram. payload carries the semantic bytes; virtual
+// adds synthetic payload size.
+func (h *Host) SendUDP(dst proto.IP, srcPort, dstPort uint16, payload []byte, virtual int) {
+	f := &proto.Frame{
+		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
+		IP: proto.IPv4{
+			Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP,
+		},
+		UDP:            proto.UDP{SrcPort: srcPort, DstPort: dstPort},
+		Payload:        payload,
+		VirtualPayload: virtual,
+	}
+	f.Seal()
+	h.transmit(f)
+}
+
+// transmit pushes a sealed frame onto the host link.
+func (h *Host) transmit(f *proto.Frame) {
+	if h.iface == nil {
+		panic("netsim: host " + h.name + " not connected")
+	}
+	h.TxPackets++
+	h.net.cost.Charge(CostPerHostPacketNs)
+	h.iface.Enqueue(f)
+}
+
+// receive implements node.
+func (h *Host) receive(_ *Iface, f *proto.Frame) {
+	h.RxPackets++
+	h.net.cost.Charge(CostPerHostPacketNs)
+	if f.IP.Dst != h.ip {
+		return // mis-delivered; drop silently like a real NIC without promisc
+	}
+	switch f.IP.Proto {
+	case proto.IPProtoUDP:
+		if fn, ok := h.udpPorts[f.UDP.DstPort]; ok {
+			fn(f.IP.Src, f.UDP.SrcPort, f.Payload, f.VirtualPayload)
+		}
+	case proto.IPProtoTCP:
+		key := tcpKey{remote: f.IP.Src, rport: f.TCP.SrcPort, lport: f.TCP.DstPort}
+		if c, ok := h.tcpConns[key]; ok {
+			c.Input(f)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Iface is one direction's transmitter of a full-duplex point-to-point
+// link. The output queue is virtual: the backlog is derived from how far
+// busyUntil extends past the current time at the link's fixed rate, which is
+// exact for a FIFO served at constant rate and avoids materializing a
+// packet list.
+type Iface struct {
+	net   *Network
+	owner node
+	name  string
+	rate  int64    // bits per second; 0 means infinitely fast
+	delay sim.Time // one-way propagation
+	peer  *Iface   // nil when ext != nil
+	ext   *ExtPort
+
+	busyUntil sim.Time
+
+	// QueueCapBytes bounds the output queue; beyond it packets drop.
+	// Zero means unbounded.
+	QueueCapBytes int
+	// MarkThresholdBytes enables ECN CE marking of ECT packets when the
+	// instantaneous backlog exceeds it (DCTCP-style step marking).
+	// Zero disables marking.
+	MarkThresholdBytes int
+	// RED, when non-nil, replaces step marking with RED: between MinBytes
+	// and MaxBytes the mark (ECT) / drop (non-ECT) probability rises
+	// linearly to MaxP; above MaxBytes everything marks or drops.
+	RED *REDParams
+	// Tap, when set, observes every frame accepted for transmission (after
+	// marking, before serialization) — the capture point.
+	Tap func(now sim.Time, f *proto.Frame)
+
+	// Statistics.
+	TxPackets, TxBytes uint64
+	Drops, Marks       uint64
+}
+
+// Name returns the interface name ("a->b").
+func (i *Iface) Name() string { return i.name }
+
+// Rate returns the configured link rate in bits per second.
+func (i *Iface) Rate() int64 { return i.rate }
+
+// Delay returns the one-way propagation delay.
+func (i *Iface) Delay() sim.Time { return i.delay }
+
+// Peer returns the other side's interface, nil for external ports.
+func (i *Iface) Peer() *Iface { return i.peer }
+
+// backlogBytes returns the queue occupancy implied by busyUntil.
+func (i *Iface) backlogBytes(now sim.Time) int {
+	if i.busyUntil <= now || i.rate <= 0 {
+		return 0
+	}
+	bits := float64(i.busyUntil-now) * float64(i.rate) / float64(sim.Second)
+	return int(bits / 8)
+}
+
+// REDParams configures Random Early Detection on an interface. The
+// averaging is instantaneous (gentle-RED variants differ only in shape for
+// the behaviors exercised here).
+type REDParams struct {
+	MinBytes int
+	MaxBytes int
+	MaxP     float64
+}
+
+// redVerdict decides a packet's fate under RED.
+type redVerdict int
+
+const (
+	redPass redVerdict = iota
+	redMark
+	redDrop
+)
+
+func (i *Iface) redDecide(backlog int, ect bool) redVerdict {
+	r := i.RED
+	act := redDrop
+	if ect {
+		act = redMark
+	}
+	switch {
+	case backlog <= r.MinBytes:
+		return redPass
+	case backlog >= r.MaxBytes:
+		return act
+	default:
+		p := r.MaxP * float64(backlog-r.MinBytes) / float64(r.MaxBytes-r.MinBytes)
+		if i.net.rng.Float64() < p {
+			return act
+		}
+		return redPass
+	}
+}
+
+// QueueDelay returns the current queueing delay on this interface.
+func (i *Iface) QueueDelay(now sim.Time) sim.Time {
+	if i.busyUntil <= now {
+		return 0
+	}
+	return i.busyUntil - now
+}
+
+// Enqueue places f on the output queue. It returns the departure time
+// (when the last bit leaves the interface) or -1 when the packet is
+// dropped. Marking and dropping happen here, at enqueue, on the
+// instantaneous backlog.
+func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
+	env := i.net.env
+	now := env.Now()
+	backlog := i.backlogBytes(now)
+	size := f.WireLen()
+	if i.QueueCapBytes > 0 && backlog+size > i.QueueCapBytes {
+		i.Drops++
+		return -1
+	}
+	ect := f.IP.ECN() == proto.ECNECT0 || f.IP.ECN() == proto.ECNECT1
+	if i.RED != nil {
+		switch i.redDecide(backlog, ect) {
+		case redDrop:
+			i.Drops++
+			return -1
+		case redMark:
+			f.IP = f.IP.WithECN(proto.ECNCE)
+			i.Marks++
+		}
+	} else if i.MarkThresholdBytes > 0 && backlog > i.MarkThresholdBytes && ect {
+		f.IP = f.IP.WithECN(proto.ECNCE)
+		i.Marks++
+	}
+	if i.Tap != nil {
+		i.Tap(now, f)
+	}
+	start := now
+	if i.busyUntil > start {
+		start = i.busyUntil
+	}
+	depart := start + sim.TransmitTime(size, i.rate)
+	i.busyUntil = depart
+	i.TxPackets++
+	i.TxBytes += uint64(size)
+
+	if i.ext != nil {
+		p := i.ext
+		env.At(depart, func() { p.sendOut(f) })
+		return depart
+	}
+	peer := i.peer
+	env.At(depart+i.delay, func() { peer.owner.receive(peer, f) })
+	return depart
+}

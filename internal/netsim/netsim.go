@@ -1,0 +1,248 @@
+// Package netsim is SplitSim-Go's protocol-level network simulator — the
+// ns-3/OMNeT++ analog. It models hosts with UDP and TCP stacks (Reno and
+// DCTCP congestion control), point-to-point links with serialization and
+// propagation delay, and output-queued switches with drop-tail queues, ECN
+// marking, programmable dataplanes (NetCache, Pegasus, PTP transparent
+// clocks), and static shortest-path routing.
+//
+// A Network is one SplitSim component: it can run alone (pure
+// protocol-level simulation), alongside detailed host simulators attached
+// through external ports (mixed fidelity), or split into multiple partition
+// components connected by trunk channels (parallelization through
+// decomposition, package decomp).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Simulation-cost model: how many nanoseconds of real CPU the protocol-level
+// simulator spends per simulated action. These feed core.CostAccount and the
+// decomp makespan model; they are calibrated to the relative speeds the
+// paper reports (see EXPERIMENTS.md) rather than to any absolute machine.
+const (
+	// CostPerSwitchPacketNs is charged for each packet a switch forwards.
+	CostPerSwitchPacketNs = 350
+	// CostPerHostPacketNs is charged for each packet a protocol-level host
+	// sends or receives (stack + app processing in the simulator).
+	CostPerHostPacketNs = 500
+	// CostPerBoundaryPacketNs is the extra cost of serializing a packet
+	// onto a SplitSim channel at a partition boundary.
+	CostPerBoundaryPacketNs = 150
+)
+
+// DefaultSwitchLatency is the fixed forwarding pipeline delay of a switch.
+const DefaultSwitchLatency = 500 * sim.Nanosecond
+
+// Network is a protocol-level network simulator instance. It implements
+// core.Component.
+type Network struct {
+	name string
+	env  core.Env
+	end  sim.Time
+	cost core.CostAccount
+	seed uint64
+	rng  *sim.Rand
+
+	switches []*Switch
+	hosts    []*Host
+	exts     []*ExtPort
+
+	// SwitchLatency is the per-switch pipeline delay applied to every
+	// forwarded packet.
+	SwitchLatency sim.Time
+
+	started bool
+}
+
+// New creates an empty network simulator named name, with all randomness
+// derived from seed.
+func New(name string, seed uint64) *Network {
+	return &Network{
+		name:          name,
+		seed:          seed,
+		rng:           sim.NewRand(seed),
+		SwitchLatency: DefaultSwitchLatency,
+	}
+}
+
+// Name implements core.Component.
+func (n *Network) Name() string { return n.name }
+
+// Attach implements core.Component.
+func (n *Network) Attach(env core.Env) { n.env = env }
+
+// Start implements core.Component: it starts every host's application.
+func (n *Network) Start(end sim.Time) {
+	n.end = end
+	n.started = true
+	for _, h := range n.hosts {
+		if h.app != nil {
+			h.app.Start(h)
+		}
+	}
+}
+
+// End returns the simulation end time (valid after Start).
+func (n *Network) End() sim.Time { return n.end }
+
+// Env returns the component environment (valid after Attach).
+func (n *Network) Env() core.Env { return n.env }
+
+// Cost implements core.Coster.
+func (n *Network) Cost() *core.CostAccount { return &n.cost }
+
+// Rand returns the network's deterministic random source.
+func (n *Network) Rand() *sim.Rand { return n.rng }
+
+// Hosts returns all protocol-level hosts.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// node is anything that terminates an interface.
+type node interface {
+	receive(in *Iface, f *proto.Frame)
+	nodeName() string
+}
+
+// AddSwitch creates a switch.
+func (n *Network) AddSwitch(name string) *Switch {
+	s := &Switch{net: n, name: name, routes: make(map[proto.IP]int)}
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// AddHost creates a protocol-level host with address ip.
+func (n *Network) AddHost(name string, ip proto.IP) *Host {
+	h := &Host{
+		net: n, name: name, ip: ip,
+		mac:      proto.MACFromID(uint32(ip)),
+		udpPorts: make(map[uint16]UDPHandler),
+		tcpConns: make(map[tcpKey]*TCPConn),
+		// The host stream depends only on the experiment seed and the
+		// host address, never on creation order, so any partitioning of
+		// the same topology generates identical workloads.
+		rng: sim.NewRand(n.seed ^ uint64(ip)*0x9e3779b97f4a7c15),
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// newIface wires a fresh interface owned by o.
+func (n *Network) newIface(o node, name string, rate int64, delay sim.Time) *Iface {
+	return &Iface{net: n, owner: o, name: name, rate: rate, delay: delay}
+}
+
+// ConnectHostSwitch links host h to switch s with a full-duplex link of the
+// given rate and one-way propagation delay. It returns the switch-side
+// interface index.
+func (n *Network) ConnectHostSwitch(h *Host, s *Switch, rate int64, delay sim.Time) int {
+	hi := n.newIface(h, h.name+"->"+s.name, rate, delay)
+	si := n.newIface(s, s.name+"->"+h.name, rate, delay)
+	hi.peer, si.peer = si, hi
+	if h.iface != nil {
+		panic(fmt.Sprintf("netsim: host %s already connected", h.name))
+	}
+	h.iface = hi
+	s.ifaces = append(s.ifaces, si)
+	return len(s.ifaces) - 1
+}
+
+// ConnectSwitches links two switches, returning the interface index on each.
+func (n *Network) ConnectSwitches(a, b *Switch, rate int64, delay sim.Time) (ai, bi int) {
+	ia := n.newIface(a, a.name+"->"+b.name, rate, delay)
+	ib := n.newIface(b, b.name+"->"+a.name, rate, delay)
+	ia.peer, ib.peer = ib, ia
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return len(a.ifaces) - 1, len(b.ifaces) - 1
+}
+
+// ExtPort attaches an external component (a detailed host's NIC, or a peer
+// network partition) to a switch port. Frames leaving the switch through
+// this port are sent on the bound core.Port; frames arriving from the
+// external side enter through Deliver (ExtPort implements core.Sink).
+type ExtPort struct {
+	net   *Network
+	name  string
+	iface *Iface
+	sw    *Switch
+	out   core.Port
+	ips   []proto.IP
+
+	// encode selects byte-serialization of frames crossing this port
+	// (partition boundaries) over passing the frame struct (in-process
+	// attachment of detailed hosts).
+	encode bool
+
+	// RxFrames counts frames delivered from the external side.
+	RxFrames uint64
+}
+
+// AddExternal creates an external port on switch s. The link's serialization
+// rate is modeled here; propagation delay is the channel latency configured
+// at wiring time. ips lists addresses reachable through this port, used by
+// ComputeRoutes.
+func (n *Network) AddExternal(s *Switch, name string, rate int64, ips ...proto.IP) *ExtPort {
+	p := &ExtPort{net: n, name: name, sw: s, ips: ips}
+	ifc := n.newIface(s, s.name+"->"+name, rate, 0)
+	ifc.ext = p
+	p.iface = ifc
+	s.ifaces = append(s.ifaces, ifc)
+	n.exts = append(n.exts, p)
+	return p
+}
+
+// Bind sets the outgoing port toward the external component. It must be
+// called before the simulation starts.
+func (p *ExtPort) Bind(out core.Port) { p.out = out }
+
+// Iface returns the switch-side interface of this external port.
+func (p *ExtPort) Iface() *Iface { return p.iface }
+
+// IPs returns the addresses reachable through this port.
+func (p *ExtPort) IPs() []proto.IP { return p.ips }
+
+// Deliver implements core.Sink: a frame (or encoded frame) arrives from the
+// external component and enters the switch.
+func (p *ExtPort) Deliver(_ sim.Time, m core.Message) {
+	var f *proto.Frame
+	switch v := m.(type) {
+	case *proto.Frame:
+		f = v
+	case proto.RawFrame:
+		var err error
+		f, err = proto.ParseFrame(v)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: %s: bad frame from external port: %v", p.name, err))
+		}
+		p.net.cost.Charge(CostPerBoundaryPacketNs)
+	default:
+		panic(fmt.Sprintf("netsim: %s: unexpected message %T", p.name, m))
+	}
+	p.RxFrames++
+	p.sw.receive(p.iface, f)
+}
+
+// sendOut transmits a frame to the external component, serializing it to
+// honest bytes when this port is a partition boundary.
+func (p *ExtPort) sendOut(f *proto.Frame) {
+	if p.out == nil {
+		panic("netsim: external port " + p.name + " not bound")
+	}
+	if p.encode {
+		p.net.cost.Charge(CostPerBoundaryPacketNs)
+		p.out.Send(proto.RawFrame(proto.AppendFrame(nil, f)))
+		return
+	}
+	p.out.Send(f)
+}
+
+// SetEncode controls byte-serialization of frames crossing this port.
+func (p *ExtPort) SetEncode(on bool) { p.encode = on }

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// redRig: h1 (10G) -> sw -> h2 (1G), RED on the bottleneck egress.
+func redRig(red *REDParams) (*Network, *Host, *Host, *Iface) {
+	n := New("net", 5)
+	sw := n.AddSwitch("sw")
+	h1 := n.AddHost("h1", proto.HostIP(1))
+	h2 := n.AddHost("h2", proto.HostIP(2))
+	n.ConnectHostSwitch(h1, sw, 10*sim.Gbps, sim.Microsecond)
+	idx := n.ConnectHostSwitch(h2, sw, 1*sim.Gbps, sim.Microsecond)
+	bottleneck := sw.Ifaces()[idx]
+	bottleneck.RED = red
+	n.ComputeRoutes()
+	return n, h1, h2, bottleneck
+}
+
+// burst sends n back-to-back ECT or non-ECT datagrams.
+func burst(h *Host, dst proto.IP, n int, ect bool) {
+	h.SetApp(AppFunc(func(hh *Host) {
+		for i := 0; i < n; i++ {
+			f := &proto.Frame{
+				Eth:            proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: hh.MAC()},
+				IP:             proto.IPv4{Src: hh.IP(), Dst: dst, Proto: proto.IPProtoUDP},
+				UDP:            proto.UDP{SrcPort: 1, DstPort: 9},
+				VirtualPayload: 1400,
+			}
+			if ect {
+				f.IP = f.IP.WithECN(proto.ECNECT0)
+			}
+			f.Seal()
+			hh.transmit(f)
+		}
+	}))
+}
+
+func run(n *Network, end sim.Time) {
+	s := sim.NewScheduler(0)
+	n.Attach(core.Env{Sched: s, Src: 1})
+	n.Start(end)
+	s.RunBefore(end)
+}
+
+func TestREDMarksECTTraffic(t *testing.T) {
+	red := &REDParams{MinBytes: 3000, MaxBytes: 20000, MaxP: 1}
+	n, h1, h2, bn := redRig(red)
+	got := 0
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) { got++ })
+	burst(h1, h2.IP(), 40, true)
+	run(n, 5*sim.Millisecond)
+	if bn.Marks == 0 {
+		t.Fatal("RED marked nothing")
+	}
+	if bn.Drops != 0 {
+		t.Fatal("ECT traffic must be marked, not dropped")
+	}
+	// Everything still delivered (marking is lossless).
+	if got != 40 {
+		t.Fatalf("delivered %d/40", got)
+	}
+	// Early packets below MinBytes must pass unmarked.
+	if bn.Marks >= 40 {
+		t.Fatal("packets below min threshold must not be marked")
+	}
+}
+
+func TestREDDropsNonECTTraffic(t *testing.T) {
+	red := &REDParams{MinBytes: 3000, MaxBytes: 20000, MaxP: 1}
+	n, h1, h2, bn := redRig(red)
+	got := 0
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) { got++ })
+	burst(h1, h2.IP(), 40, false)
+	run(n, 5*sim.Millisecond)
+	if bn.Drops == 0 {
+		t.Fatal("RED dropped nothing for non-ECT overload")
+	}
+	if bn.Marks != 0 {
+		t.Fatal("non-ECT traffic cannot be CE-marked")
+	}
+	if got+int(bn.Drops) != 40 {
+		t.Fatalf("delivered %d + dropped %d != 40", got, bn.Drops)
+	}
+}
+
+func TestREDProbabilityRamp(t *testing.T) {
+	// With MaxP = 0.5 and a queue held in the middle of the band, roughly
+	// a quarter of packets should be affected — far from 0 and far from all.
+	red := &REDParams{MinBytes: 2000, MaxBytes: 200000, MaxP: 0.5}
+	n, h1, h2, bn := redRig(red)
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	burst(h1, h2.IP(), 120, true)
+	run(n, 10*sim.Millisecond)
+	frac := float64(bn.Marks) / 120
+	if frac < 0.05 || frac > 0.95 {
+		t.Fatalf("mid-band mark fraction = %.2f, want probabilistic ramp", frac)
+	}
+}
+
+func TestREDAboveMaxActsAlways(t *testing.T) {
+	red := &REDParams{MinBytes: 100, MaxBytes: 1500, MaxP: 0.01}
+	n, h1, h2, bn := redRig(red)
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	burst(h1, h2.IP(), 30, true)
+	run(n, 5*sim.Millisecond)
+	// Queue exceeds MaxBytes almost immediately: nearly every subsequent
+	// ECT packet must be marked despite the tiny MaxP.
+	if bn.Marks < 25 {
+		t.Fatalf("marks = %d, want force-marking above max threshold", bn.Marks)
+	}
+}
+
+func TestDCTCPOverRED(t *testing.T) {
+	// DCTCP works over RED-configured bottlenecks too (RED in ECN mode is
+	// how many switches approximate the DCTCP step).
+	topo, m := Dumbbell(DumbbellSpec{
+		HostsPerSide: 1, EdgeRate: 10 * sim.Gbps, BottleneckRate: 1 * sim.Gbps,
+		EdgeDelay: 2 * sim.Microsecond, BottleneckDelay: 10 * sim.Microsecond,
+	})
+	b := topo.Build("d", 1, nil, nil)
+	n := b.Parts[0]
+	for _, f := range b.Switches[m.SwLeft].Ifaces() {
+		if f.Peer() != nil {
+			if _, isSw := f.Peer().owner.(*Switch); isSw {
+				f.RED = &REDParams{MinBytes: 15000, MaxBytes: 90000, MaxP: 0.3}
+				f.QueueCapBytes = 1 << 20
+			}
+		}
+	}
+	src, dst := b.Hosts[m.Left[0]], b.Hosts[m.Right[0]]
+	snd, rcv := NewFlow(src, dst, 40000, proto.PortBulk, CCDCTCP, 0, nil)
+	src.SetApp(AppFunc(func(*Host) { snd.StartFlow() }))
+	run(n, 50*sim.Millisecond)
+	goodput := float64(rcv.Delivered()) * 8 / (50 * sim.Millisecond).Seconds()
+	if goodput < 0.75e9 {
+		t.Fatalf("DCTCP over RED goodput %.2e, want near 1G", goodput)
+	}
+	if snd.Retransmits != 0 {
+		t.Fatalf("rtx = %d", snd.Retransmits)
+	}
+}

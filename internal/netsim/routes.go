@@ -1,0 +1,112 @@
+package netsim
+
+import "repro/internal/proto"
+
+// ComputeRoutes installs shortest-path routes on every switch for every
+// host and external-port address in this network. Paths are computed with
+// BFS over the switch graph; ties resolve deterministically by switch and
+// interface order (single-path routing — the simulator does not model
+// ECMP).
+func (n *Network) ComputeRoutes() {
+	ns := len(n.switches)
+	idx := make(map[*Switch]int, ns)
+	for i, s := range n.switches {
+		idx[s] = i
+	}
+	type edge struct {
+		nb    int // neighbor switch index
+		iface int // local iface index
+	}
+	adj := make([][]edge, ns)
+	// toward[v][u] = first iface on v leading to u.
+	toward := make([]map[int]int, ns)
+	for i := range toward {
+		toward[i] = make(map[int]int)
+	}
+	for i, s := range n.switches {
+		for fi, f := range s.ifaces {
+			if f.peer == nil {
+				continue
+			}
+			if ps, ok := f.peer.owner.(*Switch); ok {
+				j := idx[ps]
+				adj[i] = append(adj[i], edge{nb: j, iface: fi})
+				if _, dup := toward[i][j]; !dup {
+					toward[i][j] = fi
+				}
+			}
+		}
+	}
+
+	// next[s][t]: iface on switch s toward switch t; -1 if unreachable.
+	next := make([][]int, ns)
+	for i := range next {
+		next[i] = make([]int, ns)
+		for j := range next[i] {
+			next[i][j] = -1
+		}
+	}
+	for t := 0; t < ns; t++ {
+		visited := make([]bool, ns)
+		visited[t] = true
+		queue := []int{t}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				v := e.nb
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				next[v][t] = toward[v][u]
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	install := func(attached *Switch, directIface int, ips []proto.IP) {
+		ti := idx[attached]
+		for si, s := range n.switches {
+			for _, ip := range ips {
+				if si == ti {
+					s.SetRoute(ip, directIface)
+				} else if nf := next[si][ti]; nf >= 0 {
+					s.SetRoute(ip, nf)
+				}
+			}
+		}
+	}
+
+	for _, h := range n.hosts {
+		sw, fi := n.attachment(h.iface)
+		install(sw, fi, []proto.IP{h.ip})
+	}
+	for _, p := range n.exts {
+		fi := -1
+		for i, f := range p.sw.ifaces {
+			if f == p.iface {
+				fi = i
+				break
+			}
+		}
+		install(p.sw, fi, p.ips)
+	}
+}
+
+// attachment finds the switch and iface index a host interface peers with.
+func (n *Network) attachment(hostIface *Iface) (*Switch, int) {
+	if hostIface == nil || hostIface.peer == nil {
+		panic("netsim: host not attached to a switch")
+	}
+	sw, ok := hostIface.peer.owner.(*Switch)
+	if !ok {
+		panic("netsim: host attached to non-switch")
+	}
+	for i, f := range sw.ifaces {
+		if f == hostIface.peer {
+			return sw, i
+		}
+	}
+	panic("netsim: inconsistent attachment")
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Dataplane is the programmable-switch hook: it sees every frame before
+// forwarding and may consume it, mutate it, or inject new frames (via
+// Switch.Inject). The NetCache and Pegasus in-network dataplanes and test
+// fixtures implement it.
+type Dataplane interface {
+	// Process handles a frame arriving on in. Returning false consumes the
+	// frame (the switch does not forward it).
+	Process(sw *Switch, in *Iface, f *proto.Frame) (forward bool)
+}
+
+// Switch is an output-queued IP switch with static routes, an optional
+// programmable dataplane, and optional PTP transparent-clock support.
+type Switch struct {
+	net    *Network
+	name   string
+	ifaces []*Iface
+	routes map[proto.IP]int
+
+	// Dataplane, when non-nil, processes every received frame.
+	Dataplane Dataplane
+
+	// TransparentClock makes the switch add per-packet residence time to
+	// the correction field of PTP event messages, as IEEE 1588 transparent
+	// clocks do. The clock-synchronization case study extends switches
+	// with this, mirroring the paper's ns-3 extension.
+	TransparentClock bool
+
+	// RxPackets counts frames entering the switch.
+	RxPackets uint64
+	// NoRoute counts frames dropped for want of a route.
+	NoRoute uint64
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+func (s *Switch) nodeName() string { return s.name }
+
+// Network returns the owning network.
+func (s *Switch) Network() *Network { return s.net }
+
+// Ifaces returns the switch's interfaces in attachment order.
+func (s *Switch) Ifaces() []*Iface { return s.ifaces }
+
+// SetRoute installs iface index out as the next hop for ip.
+func (s *Switch) SetRoute(ip proto.IP, out int) {
+	if out < 0 || out >= len(s.ifaces) {
+		panic(fmt.Sprintf("netsim: %s: route to %v via invalid iface %d", s.name, ip, out))
+	}
+	s.routes[ip] = out
+}
+
+// Route returns the next-hop interface index for ip.
+func (s *Switch) Route(ip proto.IP) (int, bool) {
+	out, ok := s.routes[ip]
+	return out, ok
+}
+
+// receive implements node.
+func (s *Switch) receive(in *Iface, f *proto.Frame) {
+	s.RxPackets++
+	s.net.cost.Charge(CostPerSwitchPacketNs)
+	if s.Dataplane != nil {
+		if !s.Dataplane.Process(s, in, f) {
+			return
+		}
+	}
+	s.forward(in, f)
+}
+
+// forward routes f out of the switch, applying the pipeline latency.
+func (s *Switch) forward(in *Iface, f *proto.Frame) {
+	out, ok := s.routes[f.IP.Dst]
+	if !ok {
+		s.NoRoute++
+		return
+	}
+	ifc := s.ifaces[out]
+	lat := s.net.SwitchLatency
+	env := s.net.env
+	env.At(env.Now()+lat, func() {
+		arrive := env.Now()
+		depart := ifc.Enqueue(f)
+		if depart >= 0 && s.TransparentClock {
+			s.addResidence(f, depart-arrive+lat)
+		}
+	})
+}
+
+// Inject sends a locally generated frame out the route for its destination,
+// used by dataplanes to emit replies (e.g., NetCache cache hits).
+func (s *Switch) Inject(f *proto.Frame) {
+	s.forward(nil, f)
+}
+
+// addResidence implements the transparent clock: PTP event messages get the
+// switch residence time (pipeline + queueing + serialization start skew)
+// added to their correction field.
+func (s *Switch) addResidence(f *proto.Frame, residence sim.Time) {
+	if f.IP.Proto != proto.IPProtoUDP || f.UDP.DstPort != proto.PortPTPEvent {
+		return
+	}
+	m, err := proto.ParsePTP(f.Payload)
+	if err != nil {
+		return
+	}
+	m.Correction += residence
+	f.Payload = proto.AppendPTP(f.Payload[:0], m)
+}

@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"repro/internal/proto"
+	"repro/internal/tcpstack"
+)
+
+// Re-exported congestion-control selectors and constants so callers of the
+// protocol-level simulator need not import tcpstack directly.
+const (
+	CCReno  = tcpstack.CCReno
+	CCDCTCP = tcpstack.CCDCTCP
+	MSS     = tcpstack.MSS
+)
+
+// CCAlgo re-exports tcpstack.CCAlgo.
+type CCAlgo = tcpstack.CCAlgo
+
+// TCPConn re-exports tcpstack.Conn.
+type TCPConn = tcpstack.Conn
+
+type tcpKey struct {
+	remote proto.IP
+	rport  uint16
+	lport  uint16
+}
+
+// Output implements tcpstack.Transport on protocol-level hosts: frames go
+// straight to the link with zero host processing cost beyond the simulator's
+// per-packet accounting — the ns-3 modeling gap the paper measures.
+func (h *Host) Output(f *proto.Frame) { h.transmit(f) }
+
+// LocalMAC implements tcpstack.Transport.
+func (h *Host) LocalMAC() proto.MAC { return h.mac }
+
+// NewFlow creates a pre-established bulk flow from src to dst. bytes is the
+// transfer size (0 = run until simulation end). onDone, if non-nil, fires on
+// the sender when the last byte is acknowledged. The returned conns are
+// (sender, receiver); data flows once the sender's StartFlow runs.
+func NewFlow(src, dst *Host, sport, dport uint16, algo CCAlgo, bytes int64, onDone func()) (*TCPConn, *TCPConn) {
+	snd := tcpstack.NewSender(src, dst.ip, dst.mac, sport, dport, algo, bytes, onDone)
+	rcv := tcpstack.NewReceiver(dst, src.ip, src.mac, dport, sport, algo)
+	src.tcpConns[tcpKey{remote: dst.ip, rport: dport, lport: sport}] = snd
+	dst.tcpConns[tcpKey{remote: src.ip, rport: sport, lport: dport}] = rcv
+	return snd, rcv
+}
+
+// RegisterTCP installs an externally created conn (e.g., whose peer lives on
+// a detailed host) into this host's demux table.
+func (h *Host) RegisterTCP(remote proto.IP, rport, lport uint16, c *TCPConn) {
+	h.tcpConns[tcpKey{remote: remote, rport: rport, lport: lport}] = c
+}

@@ -1,0 +1,263 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Topology is a declarative description of a network: switches, protocol-
+// level hosts, switch-to-switch links, and attachment points for detailed
+// (externally simulated) hosts. One Topology can be instantiated as a single
+// Network or split across several partition Networks — the SplitSim
+// "parallelization through decomposition" path — with globally consistent
+// shortest-path routes either way.
+type Topology struct {
+	Switches []TopoSwitch
+	Hosts    []TopoHost
+	Links    []TopoLink
+}
+
+// TopoSwitch describes one switch.
+type TopoSwitch struct {
+	Name string
+	// TC enables the PTP transparent clock on this switch.
+	TC bool
+}
+
+// TopoHost describes a host attachment. When External is true the slot is a
+// detailed host simulated outside this network and reachable via an
+// external port.
+type TopoHost struct {
+	Name     string
+	IP       proto.IP
+	Switch   int
+	Rate     int64
+	Delay    sim.Time
+	External bool
+}
+
+// TopoLink is a switch-to-switch link.
+type TopoLink struct {
+	A, B  int
+	Rate  int64
+	Delay sim.Time
+}
+
+// AddSwitch appends a switch and returns its index.
+func (t *Topology) AddSwitch(name string) int {
+	t.Switches = append(t.Switches, TopoSwitch{Name: name})
+	return len(t.Switches) - 1
+}
+
+// AddHost appends a protocol-level host attached to switch sw.
+func (t *Topology) AddHost(name string, ip proto.IP, sw int, rate int64, delay sim.Time) int {
+	t.Hosts = append(t.Hosts, TopoHost{Name: name, IP: ip, Switch: sw, Rate: rate, Delay: delay})
+	return len(t.Hosts) - 1
+}
+
+// AddLink appends a switch-to-switch link.
+func (t *Topology) AddLink(a, b int, rate int64, delay sim.Time) int {
+	t.Links = append(t.Links, TopoLink{A: a, B: b, Rate: rate, Delay: delay})
+	return len(t.Links) - 1
+}
+
+// MakeExternal converts host slot i into a detailed-host attachment point.
+func (t *Topology) MakeExternal(i int) {
+	t.Hosts[i].External = true
+}
+
+// Boundary is a cross-partition link whose two halves must be wired through
+// a synchronized channel.
+type Boundary struct {
+	Link         int // index into Topology.Links
+	PartA, PartB int
+	PortA, PortB *ExtPort
+}
+
+// Build instantiates the topology, split into partitions according to
+// assign (assign[switchIdx] = partition id, ids 0..max contiguous). Hosts
+// follow their switch's partition. namer names each partition component;
+// nil derives "name.pN". A nil or all-zero assign yields one network.
+type Built struct {
+	// Parts holds one Network per partition.
+	Parts []*Network
+	// Hosts maps host slot index to its protocol-level host (nil for
+	// external slots).
+	Hosts []*Host
+	// HostPart maps host slot index to partition id.
+	HostPart []int
+	// Exts maps external host slot index to its attachment port.
+	Exts map[int]*ExtPort
+	// Switches maps topology switch index to the instantiated switch.
+	Switches []*Switch
+	// SwitchPart maps topology switch index to partition id.
+	SwitchPart []int
+	// Boundaries lists cross-partition links to be wired by decomp.
+	Boundaries []Boundary
+}
+
+// Build instantiates the topology across partitions.
+func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part int) string) *Built {
+	if assign == nil {
+		assign = make([]int, len(t.Switches))
+	}
+	if len(assign) != len(t.Switches) {
+		panic("netsim: assign length != switch count")
+	}
+	nparts := 0
+	for _, p := range assign {
+		if p+1 > nparts {
+			nparts = p + 1
+		}
+	}
+	if namer == nil {
+		namer = func(p int) string {
+			if nparts == 1 {
+				return name
+			}
+			return fmt.Sprintf("%s.p%d", name, p)
+		}
+	}
+
+	b := &Built{
+		Parts:      make([]*Network, nparts),
+		Hosts:      make([]*Host, len(t.Hosts)),
+		HostPart:   make([]int, len(t.Hosts)),
+		Exts:       make(map[int]*ExtPort),
+		Switches:   make([]*Switch, len(t.Switches)),
+		SwitchPart: append([]int(nil), assign...),
+	}
+	for p := 0; p < nparts; p++ {
+		b.Parts[p] = New(namer(p), seed)
+	}
+	for i, ts := range t.Switches {
+		sw := b.Parts[assign[i]].AddSwitch(ts.Name)
+		sw.TransparentClock = ts.TC
+		b.Switches[i] = sw
+	}
+
+	// hostIface[i] = switch-local iface index serving host slot i.
+	hostIface := make([]int, len(t.Hosts))
+	for i, th := range t.Hosts {
+		part := assign[th.Switch]
+		b.HostPart[i] = part
+		net := b.Parts[part]
+		sw := b.Switches[th.Switch]
+		if th.External {
+			p := net.AddExternal(sw, th.Name, th.Rate, th.IP)
+			b.Exts[i] = p
+			for fi, f := range sw.ifaces {
+				if f == p.iface {
+					hostIface[i] = fi
+				}
+			}
+			continue
+		}
+		h := net.AddHost(th.Name, th.IP)
+		hostIface[i] = net.ConnectHostSwitch(h, sw, th.Rate, th.Delay)
+		b.Hosts[i] = h
+	}
+
+	// linkIface[li] = (iface idx on A, iface idx on B).
+	type pair struct{ a, b int }
+	linkIface := make([]pair, len(t.Links))
+	for li, l := range t.Links {
+		pa, pb := assign[l.A], assign[l.B]
+		sa, sb := b.Switches[l.A], b.Switches[l.B]
+		if pa == pb {
+			ai, bi := b.Parts[pa].ConnectSwitches(sa, sb, l.Rate, l.Delay)
+			linkIface[li] = pair{ai, bi}
+			continue
+		}
+		ea := b.Parts[pa].AddExternal(sa, fmt.Sprintf("x%d.a", li), l.Rate)
+		eb := b.Parts[pb].AddExternal(sb, fmt.Sprintf("x%d.b", li), l.Rate)
+		ea.SetEncode(true)
+		eb.SetEncode(true)
+		var ai, bi int
+		for fi, f := range sa.ifaces {
+			if f == ea.iface {
+				ai = fi
+			}
+		}
+		for fi, f := range sb.ifaces {
+			if f == eb.iface {
+				bi = fi
+			}
+		}
+		linkIface[li] = pair{ai, bi}
+		b.Boundaries = append(b.Boundaries, Boundary{Link: li, PartA: pa, PartB: pb, PortA: ea, PortB: eb})
+	}
+
+	t.installGlobalRoutes(b, hostIface, func(li int) (int, int) {
+		p := linkIface[li]
+		return p.a, p.b
+	})
+	return b
+}
+
+// installGlobalRoutes computes shortest paths on the whole topology and
+// installs next hops on every switch in every partition. Equal-cost paths
+// are spread per destination address (deterministic hash), the static
+// analog of ECMP — essential for fat trees, whose capacity lives in the
+// multiplicity of core paths.
+func (t *Topology) installGlobalRoutes(b *Built, hostIface []int, linkIfaces func(li int) (aIface, bIface int)) {
+	ns := len(t.Switches)
+	type edge struct {
+		nb    int
+		iface int // local iface index on this switch for this link
+	}
+	adj := make([][]edge, ns)
+	for li, l := range t.Links {
+		ai, bi := linkIfaces(li)
+		adj[l.A] = append(adj[l.A], edge{nb: l.B, iface: ai})
+		adj[l.B] = append(adj[l.B], edge{nb: l.A, iface: bi})
+	}
+	// nexts[s][t] = all ifaces on s that start a shortest path toward t.
+	nexts := make([][][]int, ns)
+	for i := range nexts {
+		nexts[i] = make([][]int, ns)
+	}
+	dist := make([]int, ns)
+	for target := 0; target < ns; target++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[target] = 0
+		queue := []int{target}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				if dist[e.nb] < 0 {
+					dist[e.nb] = dist[u] + 1
+					queue = append(queue, e.nb)
+				}
+			}
+		}
+		for v := 0; v < ns; v++ {
+			if v == target || dist[v] < 0 {
+				continue
+			}
+			for _, e := range adj[v] {
+				if dist[e.nb] == dist[v]-1 {
+					nexts[v][target] = append(nexts[v][target], e.iface)
+				}
+			}
+		}
+	}
+
+	for hi, th := range t.Hosts {
+		tgt := th.Switch
+		h := uint64(th.IP) * 0x9e3779b97f4a7c15 >> 32
+		for si := range t.Switches {
+			sw := b.Switches[si]
+			if si == tgt {
+				sw.SetRoute(th.IP, hostIface[hi])
+			} else if cands := nexts[si][tgt]; len(cands) > 0 {
+				sw.SetRoute(th.IP, cands[h%uint64(len(cands))])
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package orch is the SplitSim orchestration runtime: it takes a set of
+// component simulators and channel connections, assigns deterministic event
+// ordering sources, wires ports to sinks, and executes the simulation —
+// either sequentially on one scheduler (fast, for sweeps) or coupled with
+// one goroutine per component synchronized through SplitSim channels (the
+// paper's process-parallel architecture). Both modes produce identical
+// simulation results; the coupled mode additionally produces per-adapter
+// synchronization/communication counters for the profiler.
+package orch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// Side describes one end of a connection: the owning component (which
+// determines the executing runner in coupled mode), how to hand the
+// component its outgoing port, and the sink receiving incoming messages.
+type Side struct {
+	Comp core.Component
+	Bind func(core.Port)
+	Sink core.Sink
+}
+
+type connection struct {
+	name    string
+	latency sim.Time
+	syncIv  sim.Time
+	a, b    Side
+	idA     int32 // ordering source for deliveries to a.Sink
+	idB     int32 // ordering source for deliveries to b.Sink
+
+	// sequential-mode ports, kept for message accounting.
+	portAB, portBA *link.DirectPort
+}
+
+// trunkConn is a multiplexed connection: several logical links between the
+// same pair of components carried over one synchronized channel.
+type trunkConn struct {
+	name    string
+	latency sim.Time
+	syncIv  sim.Time
+	compA   core.Component
+	compB   core.Component
+	pairs   []TrunkPair
+	idsA    []int32
+	idsB    []int32
+
+	ports []*link.DirectPort // sequential-mode ports for accounting
+}
+
+// TrunkPair is one logical link inside a trunk connection.
+type TrunkPair struct {
+	BindA func(core.Port)
+	SinkA core.Sink
+	BindB func(core.Port)
+	SinkB core.Sink
+}
+
+// Simulation is a configured set of components and connections.
+type Simulation struct {
+	comps   []core.Component
+	srcOf   map[core.Component]int32
+	conns   []*connection
+	trunks  []*trunkConn
+	nextSrc int32
+
+	// Group is populated by RunCoupled for profiler attachment.
+	Group *link.Group
+
+	// PreRun, when set, is invoked by RunCoupled after all runners and
+	// channels are wired but before execution starts — the profiler's
+	// attachment point.
+	PreRun func(*link.Group)
+}
+
+// New creates an empty simulation.
+func New() *Simulation {
+	return &Simulation{srcOf: make(map[core.Component]int32), nextSrc: 1}
+}
+
+// Add registers a component. Registration order fixes its event-ordering
+// source, so callers must add components in a deterministic order.
+func (s *Simulation) Add(c core.Component) {
+	if _, dup := s.srcOf[c]; dup {
+		panic("orch: component " + c.Name() + " added twice")
+	}
+	s.srcOf[c] = s.nextSrc
+	s.nextSrc++
+	s.comps = append(s.comps, c)
+}
+
+// Components returns the registered components in order.
+func (s *Simulation) Components() []core.Component { return s.comps }
+
+// NumComponents returns the component count — the number of simulator
+// processes, and hence cores, the configuration needs in the paper's
+// accounting.
+func (s *Simulation) NumComponents() int { return len(s.comps) }
+
+// Connect wires a bidirectional channel with the given latency between two
+// sides. syncInterval <= 0 defaults to the latency.
+func (s *Simulation) Connect(name string, latency, syncInterval sim.Time, a, b Side) {
+	s.mustHave(a.Comp, name)
+	s.mustHave(b.Comp, name)
+	c := &connection{name: name, latency: latency, syncIv: syncInterval, a: a, b: b,
+		idA: s.nextSrc, idB: s.nextSrc + 1}
+	s.nextSrc += 2
+	s.conns = append(s.conns, c)
+}
+
+// ConnectTrunk wires several logical links between compA and compB over a
+// single synchronized channel — the paper's trunk adapter. In sequential
+// mode the multiplexing is immaterial and each pair becomes a direct link.
+func (s *Simulation) ConnectTrunk(name string, latency, syncInterval sim.Time,
+	compA, compB core.Component, pairs []TrunkPair) {
+	s.mustHave(compA, name)
+	s.mustHave(compB, name)
+	t := &trunkConn{name: name, latency: latency, syncIv: syncInterval,
+		compA: compA, compB: compB, pairs: pairs}
+	for range pairs {
+		t.idsA = append(t.idsA, s.nextSrc)
+		t.idsB = append(t.idsB, s.nextSrc+1)
+		s.nextSrc += 2
+	}
+	s.trunks = append(s.trunks, t)
+}
+
+func (s *Simulation) mustHave(c core.Component, conn string) {
+	if _, ok := s.srcOf[c]; !ok {
+		panic(fmt.Sprintf("orch: connection %s references unregistered component", conn))
+	}
+}
+
+// RunSequential executes the whole simulation on a single scheduler until
+// end (events at exactly end do not run). It returns the scheduler for
+// statistics.
+func (s *Simulation) RunSequential(end sim.Time) *sim.Scheduler {
+	sched := sim.NewScheduler(0)
+	for _, c := range s.comps {
+		c.Attach(core.Env{Sched: sched, Src: s.srcOf[c]})
+	}
+	for _, c := range s.conns {
+		c.portAB = link.NewDirectPort(sched, c.latency, c.idB, c.b.Sink)
+		c.portBA = link.NewDirectPort(sched, c.latency, c.idA, c.a.Sink)
+		c.a.Bind(c.portAB)
+		c.b.Bind(c.portBA)
+	}
+	for _, t := range s.trunks {
+		t.ports = t.ports[:0]
+		for i, p := range t.pairs {
+			pa := link.NewDirectPort(sched, t.latency, t.idsB[i], p.SinkB)
+			pb := link.NewDirectPort(sched, t.latency, t.idsA[i], p.SinkA)
+			t.ports = append(t.ports, pa, pb)
+			p.BindA(pa)
+			p.BindB(pb)
+		}
+	}
+	for _, c := range s.comps {
+		c.Start(end)
+	}
+	for {
+		at, ok := sched.PeekTime()
+		if !ok || at >= end {
+			break
+		}
+		sched.Step()
+	}
+	return sched
+}
+
+// RunCoupled executes the simulation with one runner (goroutine +
+// scheduler) per component, synchronized through SplitSim channels. The
+// run is bit-identical to RunSequential. The link.Group is stored on the
+// Simulation for post-run inspection (profiling).
+func (s *Simulation) RunCoupled(end sim.Time) error {
+	runners := make(map[core.Component]*link.Runner, len(s.comps))
+	g := &link.Group{}
+	for i, c := range s.comps {
+		r := link.NewRunner(c.Name(), sim.NewScheduler(int32(1000+i)))
+		runners[c] = r
+		g.Add(r)
+	}
+	for _, c := range s.conns {
+		ch := link.NewChannel(c.name, c.latency, c.syncIv)
+		ra, rb := runners[c.a.Comp], runners[c.b.Comp]
+		ra.Attach(ch.SideA())
+		rb.Attach(ch.SideB())
+		ch.SideA().SetSink(0, c.idA, c.a.Sink)
+		ch.SideB().SetSink(0, c.idB, c.b.Sink)
+		c.a.Bind(ch.SideA())
+		c.b.Bind(ch.SideB())
+	}
+	for _, t := range s.trunks {
+		ch := link.NewChannel(t.name, t.latency, t.syncIv)
+		ra, rb := runners[t.compA], runners[t.compB]
+		ra.Attach(ch.SideA())
+		rb.Attach(ch.SideB())
+		ta, tb := link.NewTrunk(ch.SideA()), link.NewTrunk(ch.SideB())
+		for i, p := range t.pairs {
+			ta.Bind(uint16(i), t.idsA[i], p.SinkA)
+			tb.Bind(uint16(i), t.idsB[i], p.SinkB)
+			p.BindA(ta.Port(uint16(i)))
+			p.BindB(tb.Port(uint16(i)))
+		}
+	}
+	// Components attach to their runner's scheduler with the same ordering
+	// sources as in sequential mode.
+	//
+	// (channels carry their own counters in coupled mode)
+	for _, c := range s.comps {
+		runners[c].AddComponent(c, s.srcOf[c])
+	}
+	s.Group = g
+	if s.PreRun != nil {
+		s.PreRun(g)
+	}
+	return g.Run(end)
+}
+
+// ModelGraph converts a finished sequential run into the decomposition
+// performance model's inputs: one Comp per component (event costs plus
+// fidelity time tax over duration) and one Link per synchronized channel
+// with its observed data-message count. Trunked connections become a single
+// link with the combined count — exactly the trunk adapter's saving.
+func (s *Simulation) ModelGraph(duration sim.Time) ([]decomp.Comp, []decomp.Link) {
+	idx := make(map[core.Component]int, len(s.comps))
+	comps := make([]decomp.Comp, len(s.comps))
+	for i, c := range s.comps {
+		idx[c] = i
+		comps[i] = decomp.Comp{Name: c.Name(), BusyNs: decomp.BusyOf(c, duration)}
+	}
+	var links []decomp.Link
+	for _, c := range s.conns {
+		var msgs uint64
+		if c.portAB != nil {
+			msgs = c.portAB.Stats.TxData + c.portBA.Stats.TxData
+		}
+		q := c.syncIv
+		if q <= 0 {
+			q = c.latency
+		}
+		links = append(links, decomp.Link{A: idx[c.a.Comp], B: idx[c.b.Comp], Msgs: msgs, Quantum: q})
+	}
+	for _, t := range s.trunks {
+		var msgs uint64
+		for _, p := range t.ports {
+			msgs += p.Stats.TxData
+		}
+		q := t.syncIv
+		if q <= 0 {
+			q = t.latency
+		}
+		links = append(links, decomp.Link{A: idx[t.compA], B: idx[t.compB], Msgs: msgs, Quantum: q})
+	}
+	return comps, links
+}

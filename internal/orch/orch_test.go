@@ -1,0 +1,137 @@
+package orch_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/netsim"
+	"repro/internal/orch"
+	"repro/internal/profiler"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// twoNets builds two single-switch networks joined by a boundary channel,
+// with a periodic sender on one side and a sink on the other.
+func twoNets() (*orch.Simulation, *netsim.Host, *netsim.Host) {
+	n1 := netsim.New("net1", 1)
+	n2 := netsim.New("net2", 1)
+	sw1, sw2 := n1.AddSwitch("sw1"), n2.AddSwitch("sw2")
+	h1 := n1.AddHost("h1", proto.HostIP(1))
+	h2 := n2.AddHost("h2", proto.HostIP(2))
+	n1.ConnectHostSwitch(h1, sw1, 10*sim.Gbps, 1*sim.Microsecond)
+	n2.ConnectHostSwitch(h2, sw2, 10*sim.Gbps, 1*sim.Microsecond)
+	x1 := n1.AddExternal(sw1, "x", 10*sim.Gbps, proto.HostIP(2))
+	x2 := n2.AddExternal(sw2, "x", 10*sim.Gbps, proto.HostIP(1))
+	x1.SetEncode(true)
+	x2.SetEncode(true)
+	n1.ComputeRoutes()
+	n2.ComputeRoutes()
+
+	s := orch.New()
+	s.Add(n1)
+	s.Add(n2)
+	s.Connect("x", 1*sim.Microsecond, 0,
+		orch.Side{Comp: n1, Bind: x1.Bind, Sink: x1},
+		orch.Side{Comp: n2, Bind: x2.Bind, Sink: x2})
+
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	h1.SetApp(netsim.AppFunc(func(h *netsim.Host) {
+		var tick func()
+		tick = func() {
+			h.SendUDP(proto.HostIP(2), 1, 9, nil, 400)
+			h.After(20*sim.Microsecond, tick)
+		}
+		tick()
+	}))
+	return s, h1, h2
+}
+
+func TestCrossNetworkSequential(t *testing.T) {
+	s, h1, h2 := twoNets()
+	s.RunSequential(2 * sim.Millisecond)
+	if h2.RxPackets == 0 {
+		t.Fatal("no packets crossed the boundary")
+	}
+	if h1.TxPackets != h2.RxPackets {
+		t.Fatalf("tx %d != rx %d", h1.TxPackets, h2.RxPackets)
+	}
+}
+
+func TestCoupledWithProfiler(t *testing.T) {
+	s, _, h2 := twoNets()
+	col := profiler.NewCollector()
+	s.PreRun = func(g *link.Group) { col.Attach(g, 100*sim.Microsecond) }
+	if err := s.RunCoupled(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if h2.RxPackets == 0 {
+		t.Fatal("no packets crossed the boundary")
+	}
+	samples := col.Samples()
+	if len(samples) < 10 {
+		t.Fatalf("collector gathered %d samples", len(samples))
+	}
+	a, err := profiler.Analyze(samples, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sims) != 2 {
+		t.Fatalf("analysis covers %d sims, want 2", len(a.Sims))
+	}
+	if a.SimSpeed <= 0 {
+		t.Fatalf("SimSpeed = %v", a.SimSpeed)
+	}
+	g := profiler.BuildWTPG(a)
+	if len(g.Nodes) != 2 {
+		t.Fatalf("WTPG nodes = %d", len(g.Nodes))
+	}
+}
+
+func TestSeqMatchesCoupledAcrossBoundary(t *testing.T) {
+	s1, h1a, h2a := twoNets()
+	s1.RunSequential(2 * sim.Millisecond)
+	s2, h1b, h2b := twoNets()
+	if err := s2.RunCoupled(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if h1a.TxPackets != h1b.TxPackets || h2a.RxPackets != h2b.RxPackets {
+		t.Fatalf("modes diverged: seq tx/rx %d/%d, coupled %d/%d",
+			h1a.TxPackets, h2a.RxPackets, h1b.TxPackets, h2b.RxPackets)
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	s := orch.New()
+	n := netsim.New("n", 1)
+	s.Add(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add should panic")
+		}
+	}()
+	s.Add(n)
+}
+
+func TestConnectUnregisteredPanics(t *testing.T) {
+	s := orch.New()
+	n := netsim.New("n", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect with unregistered component should panic")
+		}
+	}()
+	s.Connect("bad", sim.Microsecond, 0,
+		orch.Side{Comp: n, Bind: func(core.Port) {}, Sink: nil},
+		orch.Side{Comp: n, Bind: func(core.Port) {}, Sink: nil})
+}
+
+func TestNumComponents(t *testing.T) {
+	s := orch.New()
+	s.Add(netsim.New("a", 1))
+	s.Add(netsim.New("b", 1))
+	if s.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d", s.NumComponents())
+	}
+}

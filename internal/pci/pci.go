@@ -1,0 +1,61 @@
+// Package pci defines the message vocabulary on the channel between a
+// detailed host simulator and its NIC simulator — the analog of the
+// SimBricks PCI channel. Frames cross as honest byte strings (the encoded
+// Ethernet frames of package proto); control messages model doorbells,
+// completions, and PTP hardware-clock reads.
+package pci
+
+import "repro/internal/sim"
+
+// TxSubmit is a host-to-NIC transmit doorbell: the frame has been placed in
+// a descriptor ring and is ready for DMA.
+type TxSubmit struct {
+	ID    uint64
+	Frame []byte
+	// Timestamp requests a hardware TX timestamp (PTP event messages).
+	Timestamp bool
+}
+
+// Size implements core.Message.
+func (m TxSubmit) Size() int { return 16 + len(m.Frame) }
+
+// TxDone is a NIC-to-host transmit completion. HWTime carries the PTP
+// hardware clock value at wire departure when requested.
+type TxDone struct {
+	ID     uint64
+	HWTime sim.Time
+}
+
+// Size implements core.Message.
+func (m TxDone) Size() int { return 16 }
+
+// RxPacket is a NIC-to-host received frame, DMA'd into a host buffer.
+// HWTime is the PTP hardware clock value at wire arrival.
+type RxPacket struct {
+	Frame  []byte
+	HWTime sim.Time
+}
+
+// Size implements core.Message.
+func (m RxPacket) Size() int { return 8 + len(m.Frame) }
+
+// PHCRead is a host-to-NIC read of the PTP hardware clock register.
+type PHCRead struct {
+	ID uint64
+}
+
+// Size implements core.Message.
+func (m PHCRead) Size() int { return 8 }
+
+// PHCValue is the NIC's reply to a PHCRead.
+type PHCValue struct {
+	ID     uint64
+	HWTime sim.Time
+}
+
+// Size implements core.Message.
+func (m PHCValue) Size() int { return 16 }
+
+// DefaultLatency is the PCI channel latency used throughout (the SimBricks
+// default of 500 ns).
+const DefaultLatency = 500 * sim.Nanosecond

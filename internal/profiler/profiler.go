@@ -1,0 +1,186 @@
+// Package profiler implements SplitSim's lightweight synchronization and
+// communication profiler. Each channel adapter already counts cycles
+// blocked waiting for synchronization, messages sent, and messages
+// processed (package link); the profiler periodically samples those
+// counters together with wall-clock and virtual time, and a post-processing
+// pass turns the samples into the paper's two outputs:
+//
+//   - global simulation speed and per-simulator efficiency, and
+//   - the wait-time-profile graph (WTPG), which annotates "who waits for
+//     whom" and colors probable bottlenecks red.
+//
+// The same post-processing also accepts modeled profiles produced by the
+// decomposition performance model (package decomp), so WTPGs can be
+// generated deterministically from sequential experiment runs.
+package profiler
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// AdapterSample is one adapter's counter snapshot.
+type AdapterSample struct {
+	Label string // endpoint label ("chan.a")
+	Peer  string // peer simulator name
+	link.Counters
+}
+
+// Sample is one periodic snapshot for one simulator component.
+type Sample struct {
+	Sim      string
+	WallNs   uint64
+	Virt     sim.Time
+	Adapters []AdapterSample
+}
+
+// Collector gathers samples from a coupled run.
+type Collector struct {
+	mu      sync.Mutex
+	samples []Sample
+	start   time.Time
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{start: time.Now()} }
+
+// Attach schedules periodic sampling (every interval of virtual time) on
+// every runner in the group. Call from orch.Simulation.PreRun, i.e. after
+// wiring and before execution. Samples are appended from each runner's own
+// goroutine; runners never sample concurrently with each other only in
+// sequential tests, so a small critical section guards the slice.
+func (c *Collector) Attach(g *link.Group, interval sim.Time) {
+	for _, r := range g.Runners {
+		r := r
+		var tick func()
+		tick = func() {
+			s := Sample{
+				Sim:    r.Name(),
+				WallNs: uint64(time.Since(c.start).Nanoseconds()),
+				Virt:   r.Scheduler().Now(),
+			}
+			for _, e := range r.Endpoints() {
+				s.Adapters = append(s.Adapters, AdapterSample{
+					Label:    e.Label(),
+					Peer:     e.PeerRunnerName(),
+					Counters: e.Stats,
+				})
+			}
+			c.mu.Lock()
+			c.samples = append(c.samples, s)
+			c.mu.Unlock()
+			r.Scheduler().AtSrc(r.Scheduler().Now()+interval, -1, tick)
+		}
+		r.Scheduler().AtSrc(interval, -1, tick)
+	}
+}
+
+// Samples returns everything collected so far. Call after the run ends.
+func (c *Collector) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), c.samples...)
+}
+
+// Add appends a sample directly (used by tests and modeled profiles).
+func (c *Collector) Add(s Sample) { c.samples = append(c.samples, s) }
+
+// WriteTo emits the samples as text log lines, one adapter per line:
+//
+//	splitsim-prof sim=<name> wall=<ns> virt=<ps> ep=<label> peer=<sim>
+//	  wait=<ns> proc=<ns> txd=<n> txs=<n> rxd=<n> rxs=<n>
+func (c *Collector) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, s := range c.samples {
+		if len(s.Adapters) == 0 {
+			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d\n",
+				s.Sim, s.WallNs, int64(s.Virt))
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		for _, a := range s.Adapters {
+			n, err := fmt.Fprintf(w,
+				"splitsim-prof sim=%s wall=%d virt=%d ep=%s peer=%s wait=%d proc=%d txd=%d txs=%d rxd=%d rxs=%d\n",
+				s.Sim, s.WallNs, int64(s.Virt), a.Label, a.Peer,
+				a.WaitNanos, a.ProcNanos, a.TxData, a.TxSync, a.RxData, a.RxSync)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ParseLog reads log lines written by WriteTo, reassembling samples (lines
+// sharing sim+wall+virt merge into one sample).
+func ParseLog(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	idx := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "splitsim-prof ") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		kv := make(map[string]string, len(fields))
+		for _, f := range fields {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("profiler: bad field %q", f)
+			}
+			kv[k] = v
+		}
+		var s Sample
+		s.Sim = kv["sim"]
+		if _, err := fmt.Sscanf(kv["wall"], "%d", &s.WallNs); err != nil {
+			return nil, fmt.Errorf("profiler: bad wall %q", kv["wall"])
+		}
+		var virt int64
+		if _, err := fmt.Sscanf(kv["virt"], "%d", &virt); err != nil {
+			return nil, fmt.Errorf("profiler: bad virt %q", kv["virt"])
+		}
+		s.Virt = sim.Time(virt)
+		key := fmt.Sprintf("%s/%d/%d", s.Sim, s.WallNs, virt)
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, s)
+		}
+		if ep, hasEp := kv["ep"]; hasEp {
+			a := AdapterSample{Label: ep, Peer: kv["peer"]}
+			parse := func(name string, dst *uint64) error {
+				if _, err := fmt.Sscanf(kv[name], "%d", dst); err != nil {
+					return fmt.Errorf("profiler: bad %s %q", name, kv[name])
+				}
+				return nil
+			}
+			for _, f := range []struct {
+				name string
+				dst  *uint64
+			}{
+				{"wait", &a.WaitNanos}, {"proc", &a.ProcNanos},
+				{"txd", &a.TxData}, {"txs", &a.TxSync},
+				{"rxd", &a.RxData}, {"rxs", &a.RxSync},
+			} {
+				if err := parse(f.name, f.dst); err != nil {
+					return nil, err
+				}
+			}
+			out[i].Adapters = append(out[i].Adapters, a)
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,180 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+func mkSample(simName string, wall uint64, virt sim.Time, peer string, wait, proc uint64, txd uint64) Sample {
+	return Sample{
+		Sim: simName, WallNs: wall, Virt: virt,
+		Adapters: []AdapterSample{{
+			Label: simName + ".a", Peer: peer,
+			Counters: link.Counters{WaitNanos: wait, ProcNanos: proc, TxData: txd, TxSync: txd, RxData: txd, RxSync: txd},
+		}},
+	}
+}
+
+func twoSimSamples() []Sample {
+	// Simulator "fast" waits a lot on "slow"; "slow" never waits.
+	return []Sample{
+		mkSample("fast", 0, 0, "slow", 0, 0, 0),
+		mkSample("slow", 0, 0, "fast", 0, 0, 0),
+		mkSample("fast", 1_000_000, 1*sim.Millisecond, "slow", 800_000, 50_000, 100),
+		mkSample("slow", 1_000_000, 1*sim.Millisecond, "fast", 10_000, 100_000, 100),
+		mkSample("fast", 2_000_000, 2*sim.Millisecond, "slow", 1_600_000, 100_000, 200),
+		mkSample("slow", 2_000_000, 2*sim.Millisecond, "fast", 20_000, 200_000, 200),
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a, err := Analyze(twoSimSamples(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2ms virtual over 2ms wall => speed 1.0.
+	if a.SimSpeed < 0.99 || a.SimSpeed > 1.01 {
+		t.Fatalf("SimSpeed = %v, want ~1.0", a.SimSpeed)
+	}
+	if len(a.Sims) != 2 {
+		t.Fatalf("got %d sims", len(a.Sims))
+	}
+	// Bottleneck ("slow", low wait) sorts first.
+	if a.Sims[0].Name != "slow" {
+		t.Fatalf("first (bottleneck) sim = %s, want slow", a.Sims[0].Name)
+	}
+	if w := a.Sims[1].WaitFrac; w < 0.75 || w > 0.85 {
+		t.Fatalf("fast WaitFrac = %v, want ~0.8", w)
+	}
+	if e := a.Sims[1].Efficiency; e < 0.1 || e > 0.2 {
+		t.Fatalf("fast Efficiency = %v, want ~0.155", e)
+	}
+	b := a.Bottlenecks(0.15)
+	if len(b) != 1 || b[0] != "slow" {
+		t.Fatalf("Bottlenecks = %v, want [slow]", b)
+	}
+	if !strings.Contains(a.String(), "simulation speed") {
+		t.Fatal("String() missing header")
+	}
+}
+
+func TestAnalyzeWarmupDrop(t *testing.T) {
+	ss := twoSimSamples()
+	// Pollute the first sample pair with absurd counters; dropping warm-up
+	// lines must hide them.
+	ss[0].Adapters[0].WaitNanos = 0
+	a1, err := Analyze(ss, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After dropping one warm-up sample, diffs run sample2-sample1.
+	if w := a1.Sims[1].WaitFrac; w < 0.75 || w > 0.85 {
+		t.Fatalf("WaitFrac after warmup drop = %v", w)
+	}
+	if _, err := Analyze(ss, 2, 1); err == nil {
+		t.Fatal("expected error when drops consume all samples")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 0, 0); err == nil {
+		t.Fatal("empty samples should error")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	c := NewCollector()
+	for _, s := range twoSimSamples() {
+		c.Add(s)
+	}
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLog(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 6 {
+		t.Fatalf("parsed %d samples, want 6", len(parsed))
+	}
+	a1, err := Analyze(parsed, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := Analyze(c.Samples(), 0, 0)
+	if a1.String() != a2.String() {
+		t.Fatalf("round trip changed analysis:\n%s\nvs\n%s", a1, a2)
+	}
+}
+
+func TestLogRoundTripProperty(t *testing.T) {
+	f := func(wait, proc, txd uint16, virtMs uint8) bool {
+		c := NewCollector()
+		c.Add(mkSample("x", 5, sim.Time(virtMs)*sim.Millisecond, "y",
+			uint64(wait), uint64(proc), uint64(txd)))
+		var b strings.Builder
+		if _, err := c.WriteTo(&b); err != nil {
+			return false
+		}
+		got, err := ParseLog(strings.NewReader(b.String()))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		want := c.Samples()[0]
+		g := got[0]
+		return g.Sim == want.Sim && g.WallNs == want.WallNs && g.Virt == want.Virt &&
+			len(g.Adapters) == 1 && g.Adapters[0] == want.Adapters[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLogIgnoresForeignLines(t *testing.T) {
+	in := "random log line\nsplitsim-prof sim=a wall=1 virt=2\nanother\n"
+	got, err := ParseLog(strings.NewReader(in))
+	if err != nil || len(got) != 1 || got[0].Sim != "a" {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestWTPG(t *testing.T) {
+	a, err := Analyze(twoSimSamples(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildWTPG(a)
+	if len(g.Nodes) != 2 || len(g.Edges) != 2 {
+		t.Fatalf("graph %d nodes %d edges", len(g.Nodes), len(g.Edges))
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph wtpg", `"fast" -> "slow"`, `"slow" -> "fast"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	txt := g.Render()
+	// slow is the bottleneck: listed first with a marker.
+	lines := strings.Split(txt, "\n")
+	if len(lines) < 3 || !strings.Contains(lines[1], "slow") || !strings.HasPrefix(lines[1], "*") {
+		t.Fatalf("Render should list slow first as bottleneck:\n%s", txt)
+	}
+}
+
+func TestColorGradient(t *testing.T) {
+	if color(0) != "#ff0040" {
+		t.Fatalf("color(0) = %s, want pure red", color(0))
+	}
+	if color(1) != "#00ff40" {
+		t.Fatalf("color(1) = %s, want pure green", color(1))
+	}
+	mid := color(0.5)
+	if mid != "#ffff40" {
+		t.Fatalf("color(0.5) = %s, want yellow", mid)
+	}
+}

@@ -1,0 +1,114 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WTPG is the wait-time-profile graph: a node per simulator instance and a
+// directed edge per channel direction, annotated with the fraction of
+// cycles the source spent waiting for the destination. Nodes are colored
+// from red (rarely waits — probable bottleneck) to green (mostly waits).
+type WTPG struct {
+	Nodes []WNode
+	Edges []WEdge
+}
+
+// WNode is one simulator instance.
+type WNode struct {
+	Name     string
+	WaitFrac float64
+}
+
+// WEdge annotates "From spent WaitFrac of its cycles waiting for To".
+type WEdge struct {
+	From, To string
+	WaitFrac float64
+}
+
+// BuildWTPG constructs the graph from a post-processed analysis.
+func BuildWTPG(a *Analysis) *WTPG {
+	g := &WTPG{}
+	for _, s := range a.Sims {
+		g.Nodes = append(g.Nodes, WNode{Name: s.Name, WaitFrac: s.WaitFrac})
+		for _, e := range s.Edges {
+			if e.Peer == "" {
+				continue
+			}
+			g.Edges = append(g.Edges, WEdge{From: s.Name, To: e.Peer, WaitFrac: e.WaitFrac})
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].Name < g.Nodes[j].Name })
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	return g
+}
+
+// color maps a wait fraction to a red->yellow->green fill color.
+func color(waitFrac float64) string {
+	f := clamp01(waitFrac)
+	var r, g int
+	if f < 0.5 {
+		r = 255
+		g = int(2 * f * 255)
+	} else {
+		r = int(2 * (1 - f) * 255)
+		g = 255
+	}
+	return fmt.Sprintf("#%02x%02x40", r, g)
+}
+
+// DOT renders the graph in Graphviz format, nodes colored by wait
+// fraction (red = bottleneck) and edges labeled with waiting percentages,
+// matching the paper's Fig. 10 output.
+func (g *WTPG) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph wtpg {\n")
+	b.WriteString("  rankdir=LR;\n  node [style=filled, shape=box, fontname=\"sans\"];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q [fillcolor=%q, label=\"%s\\nwait %.0f%%\"];\n",
+			n.Name, color(n.WaitFrac), n.Name, n.WaitFrac*100)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.0f%%\"];\n", e.From, e.To, e.WaitFrac*100)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Render returns a plain-text view: nodes sorted by wait fraction
+// ascending (bottlenecks first), with their outgoing waiting edges.
+func (g *WTPG) Render() string {
+	nodes := append([]WNode(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].WaitFrac != nodes[j].WaitFrac {
+			return nodes[i].WaitFrac < nodes[j].WaitFrac
+		}
+		return nodes[i].Name < nodes[j].Name
+	})
+	var b strings.Builder
+	b.WriteString("wait-time profile (bottlenecks first):\n")
+	for _, n := range nodes {
+		marker := " "
+		if n.WaitFrac < 0.15 {
+			marker = "*" // probable bottleneck
+		}
+		fmt.Fprintf(&b, "%s %-24s wait %5.1f%%", marker, n.Name, n.WaitFrac*100)
+		var outs []string
+		for _, e := range g.Edges {
+			if e.From == n.Name && e.WaitFrac >= 0.005 {
+				outs = append(outs, fmt.Sprintf("%s:%.0f%%", e.To, e.WaitFrac*100))
+			}
+		}
+		if len(outs) > 0 {
+			fmt.Fprintf(&b, "  waits-on[%s]", strings.Join(outs, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

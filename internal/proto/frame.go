@@ -1,0 +1,144 @@
+package proto
+
+// Frame is a fully parsed Ethernet/IPv4 packet as it travels between
+// simulator components. It is the payload type on network channels and
+// implements core.Message via Size.
+//
+// Payload holds the semantic application bytes (a KV, PTP, or NTP message).
+// VirtualPayload counts additional synthetic payload bytes that occupy link
+// time and queue space but carry no information (bulk-transfer data); they
+// are covered by the IPv4 total length but never materialized.
+type Frame struct {
+	Eth Ethernet
+	IP  IPv4
+	UDP UDP // valid when IP.Proto == IPProtoUDP
+	TCP TCP // valid when IP.Proto == IPProtoTCP
+
+	Payload        []byte
+	VirtualPayload int
+}
+
+// l4Len returns the encoded transport header length.
+func (f *Frame) l4Len() int {
+	switch f.IP.Proto {
+	case IPProtoUDP:
+		return UDPLen
+	case IPProtoTCP:
+		return TCPLen
+	default:
+		return 0
+	}
+}
+
+// PayloadLen is the full (real + virtual) payload size in bytes.
+func (f *Frame) PayloadLen() int { return len(f.Payload) + f.VirtualPayload }
+
+// WireLen is the frame's size on the wire in bytes, virtual payload
+// included.
+func (f *Frame) WireLen() int {
+	return EthernetLen + IPv4Len + f.l4Len() + f.PayloadLen()
+}
+
+// Size implements core.Message.
+func (f *Frame) Size() int { return f.WireLen() }
+
+// Seal fixes up the length fields (IPv4 total length, UDP length) from the
+// payload sizes. Call it after filling in headers and payload. Payloads
+// that would overflow the IPv4 total length panic: silently wrapping the
+// length would corrupt timing at every serialization point downstream.
+func (f *Frame) Seal() *Frame {
+	total := IPv4Len + f.l4Len() + f.PayloadLen()
+	if total > 0xffff {
+		panic("proto: frame exceeds the IPv4 maximum total length")
+	}
+	f.IP.TotalLen = uint16(total)
+	if f.IP.Proto == IPProtoUDP {
+		f.UDP.Length = uint16(UDPLen + f.PayloadLen())
+	}
+	if f.IP.TTL == 0 {
+		f.IP.TTL = 64
+	}
+	f.Eth.EtherType = EtherTypeIPv4
+	return f
+}
+
+// AppendFrame encodes the frame. Virtual payload bytes are not written; the
+// IPv4 total length still covers them, which is how ParseFrame recovers the
+// count (like a capture with a snap length).
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = AppendEthernet(dst, f.Eth)
+	dst = AppendIPv4(dst, f.IP)
+	switch f.IP.Proto {
+	case IPProtoUDP:
+		dst = AppendUDP(dst, f.UDP)
+	case IPProtoTCP:
+		dst = AppendTCP(dst, f.TCP)
+	}
+	return append(dst, f.Payload...)
+}
+
+// ParseFrame decodes a frame produced by AppendFrame.
+func ParseFrame(b []byte) (*Frame, error) {
+	f := &Frame{}
+	var err error
+	var rest []byte
+	if f.Eth, rest, err = ParseEthernet(b); err != nil {
+		return nil, err
+	}
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return f, nil // non-IP frame: opaque
+	}
+	if f.IP, rest, err = ParseIPv4(rest); err != nil {
+		return nil, err
+	}
+	switch f.IP.Proto {
+	case IPProtoUDP:
+		if f.UDP, rest, err = ParseUDP(rest); err != nil {
+			return nil, err
+		}
+	case IPProtoTCP:
+		if f.TCP, rest, err = ParseTCP(rest); err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) > 0 {
+		f.Payload = append([]byte(nil), rest...)
+	}
+	total := int(f.IP.TotalLen) - IPv4Len - f.l4Len()
+	if total < len(f.Payload) {
+		return nil, ErrTruncated
+	}
+	f.VirtualPayload = total - len(f.Payload)
+	return f, nil
+}
+
+// RawFrame is a serialized Ethernet frame traveling between simulator
+// components as an honest byte string (the payload type of SimBricks
+// Ethernet channels).
+type RawFrame []byte
+
+// Size implements core.Message.
+func (r RawFrame) Size() int { return len(r) }
+
+// RawWireLen returns the true wire length of an encoded frame including
+// elided virtual payload bytes, by consulting the embedded IPv4 total
+// length. Non-IPv4 or truncated buffers report their literal length.
+func RawWireLen(b []byte) int {
+	if len(b) >= EthernetLen+IPv4Len && be16(b[12:]) == EtherTypeIPv4 {
+		if total := EthernetLen + int(be16(b[EthernetLen+2:])); total > len(b) {
+			return total
+		}
+	}
+	return len(b)
+}
+
+// Clone returns a deep copy of the frame. Switches that modify headers
+// (ECN marking, TTL, PTP correction) operate on their own copy so that
+// fan-out does not alias.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	if f.Payload != nil {
+		g.Payload = append([]byte(nil), f.Payload...)
+	}
+	return &g
+}

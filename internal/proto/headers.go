@@ -1,0 +1,164 @@
+package proto
+
+// Ethernet is a 14-byte Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// EthernetLen is the encoded header size.
+const EthernetLen = 14
+
+// AppendEthernet appends the encoded header to dst.
+func AppendEthernet(dst []byte, h Ethernet) []byte {
+	dst = append(dst, h.Dst[:]...)
+	dst = append(dst, h.Src[:]...)
+	return append(dst, byte(h.EtherType>>8), byte(h.EtherType))
+}
+
+// ParseEthernet decodes a header, returning the remaining bytes.
+func ParseEthernet(b []byte) (Ethernet, []byte, error) {
+	if len(b) < EthernetLen {
+		return Ethernet{}, nil, ErrTruncated
+	}
+	var h Ethernet
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = be16(b[12:])
+	return h, b[EthernetLen:], nil
+}
+
+// IPv4 is a 20-byte option-less IPv4 header. TotalLen covers the IPv4
+// header, the L4 header, and the full (possibly virtual) payload.
+type IPv4 struct {
+	TOS      uint8 // low two bits are the ECN field
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst IP
+}
+
+// IPv4Len is the encoded header size.
+const IPv4Len = 20
+
+// ECN returns the ECN codepoint.
+func (h IPv4) ECN() uint8 { return h.TOS & 0x3 }
+
+// WithECN returns a copy of h with the ECN codepoint replaced.
+func (h IPv4) WithECN(ecn uint8) IPv4 {
+	h.TOS = h.TOS&^0x3 | ecn&0x3
+	return h
+}
+
+// AppendIPv4 appends the encoded header, computing the checksum.
+func AppendIPv4(dst []byte, h IPv4) []byte {
+	off := len(dst)
+	dst = append(dst,
+		0x45, h.TOS, byte(h.TotalLen>>8), byte(h.TotalLen),
+		byte(h.ID>>8), byte(h.ID), 0, 0,
+		h.TTL, h.Proto, 0, 0, // checksum zero for computation
+		byte(h.Src>>24), byte(h.Src>>16), byte(h.Src>>8), byte(h.Src),
+		byte(h.Dst>>24), byte(h.Dst>>16), byte(h.Dst>>8), byte(h.Dst))
+	ck := internetChecksum(dst[off : off+IPv4Len])
+	put16(dst[off+10:], ck)
+	return dst
+}
+
+// ParseIPv4 decodes and checksum-verifies a header.
+func ParseIPv4(b []byte) (IPv4, []byte, error) {
+	if len(b) < IPv4Len {
+		return IPv4{}, nil, ErrTruncated
+	}
+	if b[0] != 0x45 {
+		return IPv4{}, nil, ErrTruncated
+	}
+	if internetChecksum(b[:IPv4Len]) != 0 {
+		return IPv4{}, nil, ErrChecksum
+	}
+	h := IPv4{
+		TOS:      b[1],
+		TotalLen: be16(b[2:]),
+		ID:       be16(b[4:]),
+		TTL:      b[8],
+		Proto:    b[9],
+		Src:      IP(be32(b[12:])),
+		Dst:      IP(be32(b[16:])),
+	}
+	return h, b[IPv4Len:], nil
+}
+
+// UDP is an 8-byte UDP header. Length covers header plus payload.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// UDPLen is the encoded header size.
+const UDPLen = 8
+
+// AppendUDP appends the encoded header (checksum zero, legal for IPv4).
+func AppendUDP(dst []byte, h UDP) []byte {
+	return append(dst,
+		byte(h.SrcPort>>8), byte(h.SrcPort), byte(h.DstPort>>8), byte(h.DstPort),
+		byte(h.Length>>8), byte(h.Length), 0, 0)
+}
+
+// ParseUDP decodes a header.
+func ParseUDP(b []byte) (UDP, []byte, error) {
+	if len(b) < UDPLen {
+		return UDP{}, nil, ErrTruncated
+	}
+	h := UDP{SrcPort: be16(b), DstPort: be16(b[2:]), Length: be16(b[4:])}
+	return h, b[UDPLen:], nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint16 = 1 << 0
+	TCPSyn uint16 = 1 << 1
+	TCPRst uint16 = 1 << 2
+	TCPPsh uint16 = 1 << 3
+	TCPAck uint16 = 1 << 4
+	TCPUrg uint16 = 1 << 5
+	TCPEce uint16 = 1 << 6 // ECN echo: receiver saw CE
+	TCPCwr uint16 = 1 << 7 // sender reduced congestion window
+)
+
+// TCP is a 20-byte option-less TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint16
+	Window           uint16
+}
+
+// TCPLen is the encoded header size.
+const TCPLen = 20
+
+// AppendTCP appends the encoded header (checksum zero; the simulator does
+// not corrupt payloads, and computing pseudo-header checksums on every
+// segment would only burn simulation cycles).
+func AppendTCP(dst []byte, h TCP) []byte {
+	off := byte(5 << 4) // data offset 5 words
+	return append(dst,
+		byte(h.SrcPort>>8), byte(h.SrcPort), byte(h.DstPort>>8), byte(h.DstPort),
+		byte(h.Seq>>24), byte(h.Seq>>16), byte(h.Seq>>8), byte(h.Seq),
+		byte(h.Ack>>24), byte(h.Ack>>16), byte(h.Ack>>8), byte(h.Ack),
+		off, byte(h.Flags), byte(h.Window>>8), byte(h.Window),
+		0, 0, 0, 0)
+}
+
+// ParseTCP decodes a header.
+func ParseTCP(b []byte) (TCP, []byte, error) {
+	if len(b) < TCPLen {
+		return TCP{}, nil, ErrTruncated
+	}
+	h := TCP{
+		SrcPort: be16(b), DstPort: be16(b[2:]),
+		Seq: be32(b[4:]), Ack: be32(b[8:]),
+		Flags:  uint16(b[13]) | uint16(b[12]&0x1)<<8,
+		Window: be16(b[14:]),
+	}
+	return h, b[TCPLen:], nil
+}

@@ -1,0 +1,205 @@
+// Package proxy tunnels SplitSim channels between OS processes over TCP —
+// the SimBricks proxy mechanism the paper relies on for scaling
+// simulations out across machines ("scales out with proxy components that
+// forward messages between simulator instances across hosts").
+//
+// One spliced channel half (link.NewHalf) lives in each process; a proxy
+// pumps its messages over a length-prefixed TCP framing. The conservative
+// synchronization protocol rides along unchanged: data and sync messages
+// carry the sender's virtual timestamps, so the receiver's horizon
+// computation is identical to the in-process case. Transport latency costs
+// wall-clock time only, never simulated time.
+//
+// Message payloads must be serializable; a Codec maps payload types to
+// bytes. RawFrameCodec covers Ethernet channels (the boundary type used by
+// network partitioning), and codecs compose per sub-channel for trunks.
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Codec serializes channel payloads for the wire.
+type Codec interface {
+	Encode(m core.Message) ([]byte, error)
+	Decode(b []byte) (core.Message, error)
+}
+
+// RawFrameCodec carries proto.RawFrame payloads (Ethernet channels).
+type RawFrameCodec struct{}
+
+// Encode implements Codec.
+func (RawFrameCodec) Encode(m core.Message) ([]byte, error) {
+	f, ok := m.(proto.RawFrame)
+	if !ok {
+		return nil, fmt.Errorf("proxy: expected RawFrame, got %T", m)
+	}
+	return f, nil
+}
+
+// Decode implements Codec.
+func (RawFrameCodec) Decode(b []byte) (core.Message, error) {
+	return proto.RawFrame(append([]byte(nil), b...)), nil
+}
+
+// Wire framing: every message is
+//
+//	u32 length of the remainder
+//	u8  kind (0 sync, 1 data, 2 end-of-stream)
+//	i64 virtual timestamp (ps)
+//	u16 sub-channel
+//	payload bytes (data only)
+const (
+	kindSync byte = 0
+	kindData byte = 1
+	kindEOS  byte = 2
+)
+
+const headerLen = 1 + 8 + 2
+
+// maxFrame bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 16 << 20
+
+// writeMsg frames one channel message onto w.
+func writeMsg(w io.Writer, m link.Message, codec Codec) error {
+	var payload []byte
+	kind := kindSync
+	if m.Kind == link.KindData {
+		kind = kindData
+		var err error
+		payload, err = codec.Encode(m.Payload)
+		if err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4+headerLen, 4+headerLen+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(headerLen+len(payload)))
+	buf[4] = kind
+	binary.BigEndian.PutUint64(buf[5:], uint64(m.T))
+	binary.BigEndian.PutUint16(buf[13:], m.Sub)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeEOS signals a clean end of stream.
+func writeEOS(w io.Writer) error {
+	var buf [4 + headerLen]byte
+	binary.BigEndian.PutUint32(buf[:], headerLen)
+	buf[4] = kindEOS
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readMsg reads one framed message. done reports a clean end of stream.
+func readMsg(r io.Reader, codec Codec) (m link.Message, done bool, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return m, false, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen || n > maxFrame {
+		return m, false, fmt.Errorf("proxy: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return m, false, err
+	}
+	kind := buf[0]
+	m.T = sim.Time(binary.BigEndian.Uint64(buf[1:]))
+	m.Sub = binary.BigEndian.Uint16(buf[9:])
+	switch kind {
+	case kindEOS:
+		return m, true, nil
+	case kindSync:
+		m.Kind = link.KindSync
+		return m, false, nil
+	case kindData:
+		m.Kind = link.KindData
+		m.Payload, err = codec.Decode(buf[headerLen:])
+		return m, false, err
+	default:
+		return m, false, fmt.Errorf("proxy: unknown frame kind %d", kind)
+	}
+}
+
+// Pump runs both directions of one proxied channel over conn until the
+// local side finishes (outbound EOS sent) and the remote side finishes
+// (inbound EOS received). It owns the connection and closes it.
+func Pump(conn net.Conn, remote *link.Remote, codec Codec) error {
+	defer conn.Close()
+	errc := make(chan error, 2)
+
+	// Outbound: local simulator -> peer process.
+	go func() {
+		for {
+			m, ok := remote.Recv()
+			if !ok {
+				errc <- writeEOS(conn)
+				return
+			}
+			if err := writeMsg(conn, m, codec); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// Inbound: peer process -> local simulator.
+	go func() {
+		for {
+			m, done, err := readMsg(conn, codec)
+			if err != nil {
+				remote.CloseToLocal()
+				errc <- fmt.Errorf("proxy inbound: %w", err)
+				return
+			}
+			if done {
+				remote.CloseToLocal()
+				errc <- nil
+				return
+			}
+			remote.Inject(m)
+		}
+	}()
+
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			// The deferred close unblocks the other direction: its next
+			// conn operation fails, or the local endpoint's completion
+			// drains it. errc is buffered, so it never leaks.
+			return err
+		}
+	}
+	return nil
+}
+
+// Serve accepts exactly one peer connection on ln and pumps the channel.
+func Serve(ln net.Listener, remote *link.Remote, codec Codec) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	return Pump(conn, remote, codec)
+}
+
+// Dial connects to a listening proxy and pumps the channel.
+func Dial(addr string, remote *link.Remote, codec Codec) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Pump(conn, remote, codec)
+}
+
+// ErrClosed is returned by helpers when the transport ended unexpectedly.
+var ErrClosed = errors.New("proxy: connection closed")

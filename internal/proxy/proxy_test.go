@@ -1,0 +1,191 @@
+package proxy_test
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+)
+
+// buildNet makes a one-switch network with a local host and an external
+// port toward the peer network.
+func buildNet(name string, localID, remoteID uint32, seed uint64) (*netsim.Network, *netsim.Host, *netsim.ExtPort) {
+	n := netsim.New(name, seed)
+	sw := n.AddSwitch("sw")
+	h := n.AddHost("h", proto.HostIP(localID))
+	n.ConnectHostSwitch(h, sw, 10*sim.Gbps, sim.Microsecond)
+	x := n.AddExternal(sw, "x", 10*sim.Gbps, proto.HostIP(remoteID))
+	x.SetEncode(true) // frames cross the wire as honest bytes
+	n.ComputeRoutes()
+	return n, h, x
+}
+
+// senderApp fires count datagrams at interval.
+type senderApp struct {
+	dst      proto.IP
+	count    int
+	interval sim.Time
+}
+
+func (s senderApp) Start(h *netsim.Host) {
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= s.count {
+			return
+		}
+		sent++
+		h.SendUDP(s.dst, 1, 9, []byte("ping"), 200)
+		h.After(s.interval, tick)
+	}
+	tick()
+}
+
+const (
+	latency = 2 * sim.Microsecond
+	end     = 2 * sim.Millisecond
+)
+
+// runDirect wires the two networks with an ordinary in-process channel.
+func runDirect(t *testing.T) (uint64, uint64) {
+	t.Helper()
+	n1, h1, x1 := buildNet("n1", 1, 2, 7)
+	n2, h2, x2 := buildNet("n2", 2, 1, 7)
+	wire(t, n1, n2, h1, h2, x1, x2, nil)
+	return h1.RxPackets, h2.RxPackets
+}
+
+// runProxied wires them through a real TCP connection on localhost.
+func runProxied(t *testing.T) (uint64, uint64) {
+	t.Helper()
+	n1, h1, x1 := buildNet("n1", 1, 2, 7)
+	n2, h2, x2 := buildNet("n2", 2, 1, 7)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire(t, n1, n2, h1, h2, x1, x2, ln)
+	return h1.RxPackets, h2.RxPackets
+}
+
+// wire assembles runners; with ln == nil it uses one in-process channel,
+// otherwise each side gets a spliced half pumped over TCP.
+func wire(t *testing.T, n1, n2 *netsim.Network, h1, h2 *netsim.Host,
+	x1, x2 *netsim.ExtPort, ln net.Listener) {
+	t.Helper()
+	h1.SetApp(senderApp{dst: h2.IP(), count: 50, interval: 20 * sim.Microsecond})
+	h2.SetApp(senderApp{dst: h1.IP(), count: 30, interval: 35 * sim.Microsecond})
+	h1.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	h2.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+
+	r1 := link.NewRunner("p1", sim.NewScheduler(1))
+	r2 := link.NewRunner("p2", sim.NewScheduler(2))
+
+	if ln == nil {
+		ch := link.NewChannel("x", latency, 0)
+		r1.Attach(ch.SideA())
+		r2.Attach(ch.SideB())
+		ch.SideA().SetSink(0, 100, x1)
+		ch.SideB().SetSink(0, 101, x2)
+		x1.Bind(ch.SideA())
+		x2.Bind(ch.SideB())
+	} else {
+		epA, remA := link.NewHalf("x", latency, 0)
+		epB, remB := link.NewHalf("x", latency, 0)
+		r1.Attach(epA)
+		r2.Attach(epB)
+		epA.SetSink(0, 100, x1)
+		epB.SetSink(0, 101, x2)
+		x1.Bind(epA)
+		x2.Bind(epB)
+		done := make(chan error, 2)
+		go func() { done <- proxy.Serve(ln, remA, proxy.RawFrameCodec{}) }()
+		go func() { done <- proxy.Dial(ln.Addr().String(), remB, proxy.RawFrameCodec{}) }()
+		t.Cleanup(func() {
+			for i := 0; i < 2; i++ {
+				if err := <-done; err != nil {
+					t.Errorf("proxy: %v", err)
+				}
+			}
+		})
+	}
+	r1.AddComponent(n1, 10)
+	r2.AddComponent(n2, 11)
+	g := &link.Group{}
+	g.Add(r1, r2)
+	if err := g.Run(end); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProxiedMatchesDirect is the scale-out correctness property: tunneling
+// the channel over TCP changes nothing about the simulation.
+func TestProxiedMatchesDirect(t *testing.T) {
+	d1, d2 := runDirect(t)
+	p1, p2 := runProxied(t)
+	if d1 == 0 || d2 == 0 {
+		t.Fatal("no traffic in direct run")
+	}
+	if p1 != d1 || p2 != d2 {
+		t.Fatalf("proxied run diverged: direct rx=(%d,%d) proxied rx=(%d,%d)",
+			d1, d2, p1, p2)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := &proto.Frame{
+		Eth: proto.Ethernet{Dst: proto.MACFromID(2), Src: proto.MACFromID(1)},
+		IP:  proto.IPv4{Src: proto.HostIP(1), Dst: proto.HostIP(2), Proto: proto.IPProtoUDP},
+		UDP: proto.UDP{SrcPort: 1, DstPort: 9},
+	}
+	f.Seal()
+	raw := proto.RawFrame(proto.AppendFrame(nil, f))
+	c := proxy.RawFrameCodec{}
+	b, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(proto.RawFrame)
+	if string(got) != string(raw) {
+		t.Fatal("codec round trip changed bytes")
+	}
+	if _, err := c.Encode(badMsg{}); err == nil {
+		t.Fatal("encoding a non-RawFrame should fail")
+	}
+}
+
+type badMsg struct{}
+
+func (badMsg) Size() int { return 0 }
+
+func TestRejectsOversizedFrame(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		// A corrupt 1GB length prefix.
+		client.Write([]byte{0x40, 0x00, 0x00, 0x00})
+		client.Close()
+	}()
+	ep, rem := link.NewHalf("x", latency, 0)
+	_ = ep
+	errc := make(chan error, 1)
+	go func() { errc <- proxy.Pump(server, rem, proxy.RawFrameCodec{}) }()
+	// Give the local side nothing to send; close it so outbound finishes.
+	// The inbound reader must reject the bogus frame.
+	go func() {
+		// Drain Recv by simulating a finished local endpoint: nothing was
+		// attached, so just let Pump's outbound block; the inbound error
+		// closes the connection, unblocking everything.
+	}()
+	if err := <-errc; err == nil {
+		t.Fatal("expected error for oversized frame")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+// The event queue is a binary min-heap with a total, deterministic order:
+// events are compared by (time, source, sequence). Source identifies who
+// scheduled the event (the local component or an input channel), sequence is
+// a per-scheduler monotone counter. Because every tiebreak is explicit, a
+// simulation produces the same event order regardless of goroutine
+// interleaving, which is what makes coupled (parallel) and sequential
+// execution bit-identical.
+
+// Timer is a handle to a scheduled event that can be cancelled or inspected.
+// Cancellation is lazy: the entry stays in the heap and is skipped when it
+// surfaces.
+type Timer struct {
+	at       Time
+	canceled bool
+	fired    bool
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or cancelled timer is a no-op. It reports whether the cancellation
+// took effect.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.fired || t.canceled {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && !t.fired && !t.canceled }
+
+// When returns the virtual time the timer is (or was) scheduled for.
+func (t *Timer) When() Time { return t.at }
+
+type eventEntry struct {
+	at    Time
+	src   int32
+	seq   uint64
+	fn    func()
+	timer *Timer
+}
+
+func eventLess(a, b *eventEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is a hand-rolled heap to avoid container/heap interface
+// allocation overhead on the hottest path in the kernel.
+type eventQueue struct {
+	h []*eventEntry
+}
+
+func (q *eventQueue) Len() int { return len(q.h) }
+
+func (q *eventQueue) Push(e *eventEntry) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) Peek() *eventEntry {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *eventQueue) Pop() *eventEntry {
+	n := len(q.h)
+	if n == 0 {
+		return nil
+	}
+	top := q.h[0]
+	q.h[0] = q.h[n-1]
+	q.h[n-1] = nil
+	q.h = q.h[:n-1]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(q.h[l], q.h[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(q.h[r], q.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import "fmt"
+
+// Scheduler is a deterministic discrete-event scheduler. One Scheduler backs
+// one simulator component (one "process" in SplitSim terms). In sequential
+// mode many components share a Scheduler; in coupled mode each component
+// Runner owns one and the link layer constrains how far it may advance.
+type Scheduler struct {
+	id   int32 // stable source id used for event-order tiebreaks
+	now  Time
+	q    eventQueue
+	seq  uint64
+	done uint64 // events executed
+
+	// busy accumulates modeled host-CPU nanoseconds charged via Charge.
+	busy uint64
+}
+
+// NewScheduler returns a scheduler whose locally scheduled events use id as
+// their ordering source.
+func NewScheduler(id int32) *Scheduler {
+	return &Scheduler{id: id}
+}
+
+// ID returns the scheduler's stable source id.
+func (s *Scheduler) ID() int32 { return s.id }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events still queued (including lazily
+// cancelled timers that have not yet surfaced).
+func (s *Scheduler) Pending() int { return s.q.Len() }
+
+// Processed returns how many events have been executed.
+func (s *Scheduler) Processed() uint64 { return s.done }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering events
+// would destroy determinism.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	return s.atSrc(t, s.id, fn)
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// AtSrc schedules fn at time t with an explicit ordering source. The link
+// layer uses this to give messages arriving on different channels a stable
+// order independent of goroutine interleaving.
+func (s *Scheduler) AtSrc(t Time, src int32, fn func()) *Timer {
+	return s.atSrc(t, src, fn)
+}
+
+func (s *Scheduler) atSrc(t Time, src int32, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	tm := &Timer{at: t}
+	s.q.Push(&eventEntry{at: t, src: src, seq: s.seq, fn: fn, timer: tm})
+	return tm
+}
+
+// PeekTime returns the time of the earliest pending event. ok is false when
+// the queue holds no runnable event.
+func (s *Scheduler) PeekTime() (t Time, ok bool) {
+	s.skipCanceled()
+	e := s.q.Peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+func (s *Scheduler) skipCanceled() {
+	for {
+		e := s.q.Peek()
+		if e == nil || e.timer == nil || !e.timer.canceled {
+			return
+		}
+		s.q.Pop()
+	}
+}
+
+// Step executes the earliest pending event, advancing Now to its timestamp.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	s.skipCanceled()
+	e := s.q.Pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.at
+	if e.timer != nil {
+		e.timer.fired = true
+	}
+	s.done++
+	e.fn()
+	return true
+}
+
+// RunUntil executes every event with timestamp <= limit and then advances
+// Now to limit. It returns the number of events executed.
+func (s *Scheduler) RunUntil(limit Time) uint64 {
+	var n uint64
+	for {
+		t, ok := s.PeekTime()
+		if !ok || t > limit {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+	return n
+}
+
+// RunBefore executes every event with timestamp strictly less than limit and
+// then advances Now to limit. Conservative parallel synchronization uses the
+// strict bound: an event at exactly the synchronization horizon may not run,
+// because a peer's message could still be delivered at that same instant and
+// deterministic ordering requires all events at a timestamp to be known
+// before any of them executes.
+func (s *Scheduler) RunBefore(limit Time) uint64 {
+	var n uint64
+	for {
+		t, ok := s.PeekTime()
+		if !ok || t >= limit {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+	return n
+}
+
+// Run executes events until the queue drains, returning the count executed.
+func (s *Scheduler) Run() uint64 {
+	var n uint64
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// Charge records ns nanoseconds of modeled host-CPU work attributed to this
+// component. The decomposition layer's makespan model consumes these totals
+// to predict parallel simulation time on a given core budget.
+func (s *Scheduler) Charge(ns uint64) { s.busy += ns }
+
+// BusyNanos returns the modeled host-CPU nanoseconds charged so far.
+func (s *Scheduler) BusyNanos() uint64 { return s.busy }

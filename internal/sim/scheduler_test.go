@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(0)
+	var got []int
+	s.At(30*Nanosecond, func() { got = append(got, 3) })
+	s.At(10*Nanosecond, func() { got = append(got, 1) })
+	s.At(20*Nanosecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if s.Now() != 30*Nanosecond {
+		t.Errorf("Now() = %v, want 30ns", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", s.Processed())
+	}
+}
+
+func TestSchedulerSameTimeFIFO(t *testing.T) {
+	// Events with equal (time, src) must run in scheduling order.
+	s := NewScheduler(0)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5*Nanosecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSchedulerSrcTiebreak(t *testing.T) {
+	s := NewScheduler(5)
+	var got []int32
+	s.AtSrc(time1ns(), 9, func() { got = append(got, 9) })
+	s.AtSrc(time1ns(), 2, func() { got = append(got, 2) })
+	s.AtSrc(time1ns(), 7, func() { got = append(got, 7) })
+	s.Run()
+	want := []int32{2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("src tiebreak broken: got %v want %v", got, want)
+		}
+	}
+}
+
+func time1ns() Time { return 1 * Nanosecond }
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler(0)
+	s.At(10*Nanosecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	s.At(5*Nanosecond, func() {})
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(0)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.After(1*Microsecond, tick)
+		}
+	}
+	s.At(0, tick)
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if s.Now() != 9*Microsecond {
+		t.Fatalf("Now() = %v, want 9us", s.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(0)
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Microsecond, func() { ran++ })
+	}
+	n := s.RunUntil(5 * Microsecond)
+	if n != 5 || ran != 5 {
+		t.Fatalf("RunUntil executed %d events (cb %d), want 5", n, ran)
+	}
+	if s.Now() != 5*Microsecond {
+		t.Fatalf("Now() = %v, want 5us", s.Now())
+	}
+	// RunUntil advances Now even with an empty window.
+	s.RunUntil(7 * Microsecond)
+	if s.Now() != 7*Microsecond {
+		t.Fatalf("Now() = %v, want 7us", s.Now())
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", s.Pending())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler(0)
+	fired := false
+	tm := s.At(1*Microsecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Fatal("cancelled timer should not be pending")
+	}
+}
+
+func TestTimerFired(t *testing.T) {
+	s := NewScheduler(0)
+	tm := s.At(1*Microsecond, func() {})
+	s.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("cancelling a fired timer should fail")
+	}
+	if tm.When() != 1*Microsecond {
+		t.Fatalf("When() = %v", tm.When())
+	}
+}
+
+func TestPeekSkipsCancelled(t *testing.T) {
+	s := NewScheduler(0)
+	tm := s.At(1*Microsecond, func() {})
+	s.At(2*Microsecond, func() {})
+	tm.Cancel()
+	at, ok := s.PeekTime()
+	if !ok || at != 2*Microsecond {
+		t.Fatalf("PeekTime = %v,%v; want 2us,true", at, ok)
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	s := NewScheduler(0)
+	s.Charge(10)
+	s.Charge(32)
+	if s.BusyNanos() != 42 {
+		t.Fatalf("BusyNanos = %d, want 42", s.BusyNanos())
+	}
+}
+
+// Property: popping events always yields a sequence sorted by (time,src,seq).
+func TestEventQueueSortedProperty(t *testing.T) {
+	f := func(times []uint16, srcs []uint8) bool {
+		n := len(times)
+		if len(srcs) < n {
+			n = len(srcs)
+		}
+		if n == 0 {
+			return true
+		}
+		q := &eventQueue{}
+		for i := 0; i < n; i++ {
+			q.Push(&eventEntry{at: Time(times[i]), src: int32(srcs[i]), seq: uint64(i)})
+		}
+		var popped []*eventEntry
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop())
+		}
+		return sort.SliceIsSorted(popped, func(i, j int) bool {
+			return eventLess(popped[i], popped[j])
+		}) && len(popped) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the scheduler executes any batch of future events in
+// nondecreasing time order and ends at the max time.
+func TestSchedulerTimeMonotoneProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler(0)
+		var seen []Time
+		var max Time
+		for _, o := range offsets {
+			at := Time(o) * Nanosecond
+			if at > max {
+				max = at
+			}
+			s.At(at, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package splitsim is the public API of SplitSim-Go, a Go reproduction of
+// "SplitSim: Towards Practical Large-Scale Full-System Simulation for
+// Systems Research" (CoNEXT 2025).
+//
+// SplitSim enables end-to-end evaluation of large-scale network and
+// distributed systems by combining four techniques on top of modular
+// (SimBricks-style) simulation:
+//
+//   - mixed-fidelity simulation: detailed host simulators only where the
+//     evaluation needs them, protocol-level simulation everywhere else;
+//   - parallelization through decomposition: splitting bottleneck
+//     simulators at component boundaries into synchronized processes,
+//     including trunk adapters that multiplex many logical links over one
+//     synchronized channel;
+//   - a lightweight synchronization/communication profiler producing
+//     wait-time-profile graphs that color bottleneck simulators red;
+//   - a configuration and orchestration layer that separates the simulated
+//     system's description from concrete simulator instantiation choices.
+//
+// This facade re-exports the pieces a simulation author composes. The
+// subsystem packages under internal/ carry the implementations: sim (event
+// kernel), link (channels + conservative sync), netsim (protocol-level
+// network simulator), hostsim/nicsim/pci (detailed host path), memsim
+// (multi-core memory-system simulator), decomp (partitioning + performance
+// model), profiler, orch, instantiate, and the case-study applications
+// under internal/apps.
+//
+// Quickstart:
+//
+//	s := splitsim.NewSimulation()
+//	net := splitsim.NewNetwork("net", seed)
+//	... build hosts/switches, add components, connect channels ...
+//	s.RunSequential(20 * splitsim.Millisecond)  // or RunCoupled
+package splitsim
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/experiments"
+	"repro/internal/hostsim"
+	"repro/internal/instantiate"
+	"repro/internal/link"
+	"repro/internal/netsim"
+	"repro/internal/nicsim"
+	"repro/internal/orch"
+	"repro/internal/profiler"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/tcpstack"
+)
+
+// Virtual time.
+type (
+	// Time is a point in (or span of) virtual time, in picoseconds.
+	Time = sim.Time
+	// Scheduler is the deterministic discrete-event scheduler.
+	Scheduler = sim.Scheduler
+	// Rand is the deterministic PRNG used throughout.
+	Rand = sim.Rand
+)
+
+// Time units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Link rates.
+const (
+	Kbps = sim.Kbps
+	Mbps = sim.Mbps
+	Gbps = sim.Gbps
+)
+
+// Component model.
+type (
+	// Component is a simulator component runnable by the orchestrator.
+	Component = core.Component
+	// Message travels over channels between components.
+	Message = core.Message
+	// Port sends messages toward a peer component.
+	Port = core.Port
+	// Sink receives messages from a peer component.
+	Sink = core.Sink
+	// Fidelity selects protocol-level, qemu-, or gem5-class simulation.
+	Fidelity = core.Fidelity
+)
+
+// Fidelity levels.
+const (
+	ProtocolLevel = core.ProtocolLevel
+	Coarse        = core.Coarse
+	Detailed      = core.Detailed
+)
+
+// Orchestration.
+type (
+	// Simulation is a configured set of components and channels.
+	Simulation = orch.Simulation
+	// Side describes one end of a channel connection.
+	Side = orch.Side
+	// TrunkPair is one logical link of a trunked connection.
+	TrunkPair = orch.TrunkPair
+)
+
+// NewSimulation creates an empty simulation.
+func NewSimulation() *Simulation { return orch.New() }
+
+// Protocol-level network simulation.
+type (
+	// Network is the protocol-level network simulator (ns-3 analog).
+	Network = netsim.Network
+	// NetHost is a protocol-level host.
+	NetHost = netsim.Host
+	// Switch is an output-queued switch with a programmable dataplane.
+	Switch = netsim.Switch
+	// Topology declaratively describes a network for (partitioned) builds.
+	Topology = netsim.Topology
+	// TCPConn is one side of a TCP flow (Reno or DCTCP).
+	TCPConn = tcpstack.Conn
+)
+
+// NewNetwork creates a protocol-level network simulator component.
+func NewNetwork(name string, seed uint64) *Network { return netsim.New(name, seed) }
+
+// Detailed host simulation.
+type (
+	// Host is a detailed full-system host simulator (qemu/gem5 analog).
+	Host = hostsim.Host
+	// HostParams tunes a detailed host's timing and simulation cost.
+	HostParams = hostsim.Params
+	// NIC is the behavioral NIC model (i40e analog).
+	NIC = nicsim.NIC
+	// NICParams tunes the NIC model.
+	NICParams = nicsim.Params
+	// DetailedHost bundles a host with its NIC for wiring.
+	DetailedHost = instantiate.DetailedHost
+)
+
+// QemuParams returns the coarse (instruction-counting) host tier.
+func QemuParams() HostParams { return hostsim.QemuParams() }
+
+// Gem5Params returns the detailed-timing host tier.
+func Gem5Params() HostParams { return hostsim.Gem5Params() }
+
+// DefaultNICParams returns the i40e-like 10G NIC configuration.
+func DefaultNICParams() NICParams { return nicsim.DefaultParams() }
+
+// NewDetailedHost constructs a host+NIC pair; Wire attaches it to a
+// network's external port.
+func NewDetailedHost(name string, ip IP, hp HostParams, np NICParams, seed uint64) *DetailedHost {
+	return instantiate.NewDetailedHost(name, ip, hp, np, seed)
+}
+
+// Declarative configuration: describe the simulated system once, then
+// instantiate it under different simulator choices.
+type (
+	// System declaratively describes hosts, switches, links, and apps.
+	System = config.System
+	// SystemHost is one host description within a System.
+	SystemHost = config.Host
+	// Choices carries instantiation decisions (fidelities, partitioning).
+	Choices = config.Choices
+	// Instance is a runnable instantiation of a System.
+	Instance = config.Instance
+	// AppFuncs adapts per-tier functions to a configured application.
+	AppFuncs = config.AppFuncs
+)
+
+// Decomposition and performance model.
+type (
+	// Strategy names a network partition strategy (s/ac/crN/rs).
+	Strategy = decomp.Strategy
+	// ModelParams tunes the decomposition performance model.
+	ModelParams = decomp.Params
+)
+
+// Profiling.
+type (
+	// Collector samples adapter counters during coupled runs.
+	Collector = profiler.Collector
+	// Analysis is the post-processed profile.
+	Analysis = profiler.Analysis
+	// WTPG is the wait-time-profile graph.
+	WTPG = profiler.WTPG
+)
+
+// NewCollector creates a profiler collector; attach it via Simulation.PreRun.
+func NewCollector() *Collector { return profiler.NewCollector() }
+
+// Analyze post-processes profiler samples, dropping warm-up/cool-down.
+func Analyze(samples []profiler.Sample, dropWarm, dropCool int) (*Analysis, error) {
+	return profiler.Analyze(samples, dropWarm, dropCool)
+}
+
+// BuildWTPG constructs the wait-time-profile graph from an analysis.
+func BuildWTPG(a *Analysis) *WTPG { return profiler.BuildWTPG(a) }
+
+// Channels.
+type (
+	// Channel is a synchronized SplitSim channel (coupled mode).
+	Channel = link.Channel
+	// Trunk multiplexes logical links over one synchronized channel.
+	Trunk = link.Trunk
+)
+
+// Experiments: the paper's evaluation harnesses.
+type (
+	// ExpOptions scales and seeds an experiment run.
+	ExpOptions = experiments.Options
+)
+
+// Experiment entry points regenerate the paper's tables and figures.
+var (
+	Fig4         = experiments.Fig4
+	Fig5         = experiments.Fig5
+	Fig6         = experiments.Fig6
+	Fig7         = experiments.Fig7
+	Fig8         = experiments.Fig8
+	Fig9         = experiments.Fig9
+	Fig10        = experiments.Fig10
+	ClockSyncCS  = experiments.ClockSync
+	Table1       = experiments.Table1
+	ConfigEffort = experiments.ConfigEffort
+)
+
+// IP is an IPv4 address in host integer form.
+type IP = proto.IP
+
+// HostIP derives a stable 10.0.0.0/8 address for a host id.
+func HostIP(id uint32) IP { return proto.HostIP(id) }
+
+// WirePartitions connects a partitioned topology's boundaries on a
+// simulation, trunked or not.
+var WirePartitions = instantiate.WirePartitions
