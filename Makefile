@@ -1,0 +1,27 @@
+# Tier-1 gate and convenience targets. `make check` is what every PR must
+# keep green (see README.md); `make race` adds the data-race gate over the
+# packages with cross-goroutine traffic; `make bench` refreshes the
+# committed benchmark baselines.
+
+GO ?= go
+
+.PHONY: check build vet test race bench all
+
+all: check race
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/link/ ./internal/orch/ ./internal/profiler/
+
+bench:
+	sh scripts/bench.sh

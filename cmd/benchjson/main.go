@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// benchmark-baseline files (BENCH_link.json, BENCH_sched.json). It reads
+// benchmark lines on stdin, averages repeated -count runs per benchmark,
+// and appends (or replaces) one revision entry in the output file, so the
+// committed JSON accumulates a perf trajectory across PRs:
+//
+//	go test -run '^$' -bench . -count 3 ./internal/link/ |
+//	    go run ./cmd/benchjson -suite link -rev PR1 -out BENCH_link.json
+//
+// scripts/bench.sh wraps both suites.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is the averaged measurement for one benchmark.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Runs     int     `json:"runs"`
+}
+
+// Entry is one revision's worth of results.
+type Entry struct {
+	Rev     string            `json:"rev"`
+	Date    string            `json:"date"`
+	Go      string            `json:"go,omitempty"`
+	Results map[string]Result `json:"results"`
+}
+
+// File is the on-disk baseline format.
+type File struct {
+	Suite   string  `json:"suite"`
+	Unit    string  `json:"unit"`
+	History []Entry `json:"history"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	suite := flag.String("suite", "", "suite name recorded in the file (e.g. link, sched)")
+	out := flag.String("out", "", "output JSON file to create or append to")
+	rev := flag.String("rev", "", "revision label for this entry (e.g. PR1, a git hash)")
+	flag.Parse()
+	if *suite == "" || *out == "" || *rev == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -suite NAME -out FILE.json -rev LABEL < bench-output")
+		os.Exit(2)
+	}
+
+	type acc struct {
+		ns, b, allocs float64
+		n             int
+	}
+	sums := map[string]*acc{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if strings.HasPrefix(line, "go: ") || strings.HasPrefix(line, "goos:") {
+			continue
+		}
+		if strings.HasPrefix(line, "cpu:") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := sums[m[1]]
+		if a == nil {
+			a = &acc{}
+			sums[m[1]] = a
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		a.ns += ns
+		if m[4] != "" {
+			bo, _ := strconv.ParseFloat(m[4], 64)
+			a.b += bo
+		}
+		if m[5] != "" {
+			al, _ := strconv.ParseFloat(m[5], 64)
+			a.allocs += al
+		}
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	entry := Entry{
+		Rev:     *rev,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Results: map[string]Result{},
+	}
+	for name, a := range sums {
+		entry.Results[name] = Result{
+			NsOp:     round2(a.ns / float64(a.n)),
+			BOp:      round2(a.b / float64(a.n)),
+			AllocsOp: round2(a.allocs / float64(a.n)),
+			Runs:     a.n,
+		}
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	f.Suite = *suite
+	f.Unit = "ns/op"
+	// Replace an existing entry with the same rev, else append.
+	replaced := false
+	for i := range f.History {
+		if f.History[i].Rev == *rev {
+			f.History[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.History = append(f.History, entry)
+	}
+
+	// encoding/json sorts map keys, so entries diff stably across runs.
+	buf, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (rev %s)\n",
+		len(entry.Results), *out, *rev)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

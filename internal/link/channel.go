@@ -63,6 +63,10 @@ type Endpoint struct {
 	lastRecvT sim.Time // peer clock as of the last received message (-1: none)
 	peerDone  bool
 
+	// scratch is the drained-and-cleared batch slice handed back to the
+	// incoming pipe as its next swap buffer (see pipe.tryRecvAll).
+	scratch []Message
+
 	Stats Counters
 }
 
@@ -98,7 +102,10 @@ func (e *Endpoint) SendSub(sub uint16, payload core.Message) {
 	}
 	now := e.runner.sched.Now()
 	e.out.send(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
-	e.lastSentT = now
+	if e.lastSentT != now {
+		e.lastSentT = now
+		e.runner.syncCapOK = false
+	}
 	e.Stats.TxData++
 }
 
@@ -146,6 +153,9 @@ func (e *Endpoint) sendSync(now sim.Time) {
 	}
 	e.out.send(Message{T: now, Kind: KindSync})
 	e.lastSentT = now
+	if e.runner != nil {
+		e.runner.syncCapOK = false
+	}
 	e.Stats.TxSync++
 }
 
@@ -164,6 +174,7 @@ func (e *Endpoint) handle(m Message) {
 			e.label, m.T, e.lastRecvT))
 	}
 	e.lastRecvT = m.T
+	e.runner.horizonOK = false
 	if m.Kind == KindSync {
 		e.Stats.RxSync++
 		return
@@ -176,5 +187,7 @@ func (e *Endpoint) handle(m Message) {
 	at := m.T + e.ch.Latency
 	src := e.srcFor[m.Sub]
 	payload := m.Payload
-	e.runner.sched.AtSrc(at, src, func() { sink.Deliver(at, payload) })
+	// Deliveries are never cancelled, so the Timer-free PostSrc avoids one
+	// allocation per received data message.
+	e.runner.sched.PostSrc(at, src, func() { sink.Deliver(at, payload) })
 }

@@ -36,7 +36,7 @@ func (p *DirectPort) Latency() sim.Time { return p.lat }
 func (p *DirectPort) Send(payload core.Message) {
 	at := p.sched.Now() + p.lat
 	p.Stats.TxData++
-	p.sched.AtSrc(at, p.src, func() { p.sink.Deliver(at, payload) })
+	p.sched.PostSrc(at, p.src, func() { p.sink.Deliver(at, payload) })
 }
 
 // Trunk is the paper's trunk adapter: it multiplexes several upper-layer

@@ -59,6 +59,27 @@ func (p *pipe) tryRecv() (m Message, ok, closed bool) {
 	return p.popLocked()
 }
 
+// tryRecvAll dequeues every queued message in one critical section by
+// swapping the internal buffer with scratch (the batch a previous call
+// returned, cleared and resliced to zero length). The returned batch is
+// owned by the caller until it hands the slice back as scratch; closed
+// reports — only when the batch is empty — that no message will ever
+// arrive again. This is the coupled-run drain path: one lock acquisition
+// per batch instead of one per message.
+func (p *pipe) tryRecvAll(scratch []Message) (batch []Message, closed bool) {
+	p.mu.Lock()
+	if p.head == len(p.buf) {
+		closed = p.closed
+		p.mu.Unlock()
+		return scratch[:0], closed
+	}
+	batch = p.buf[p.head:]
+	p.buf = scratch[:0]
+	p.head = 0
+	p.mu.Unlock()
+	return batch, false
+}
+
 // recv dequeues, blocking until a message arrives or the pipe is closed and
 // drained.
 func (p *pipe) recv() (m Message, ok, closed bool) {
@@ -78,8 +99,22 @@ func (p *pipe) popLocked() (Message, bool, bool) {
 		m := p.buf[p.head]
 		p.buf[p.head] = Message{}
 		p.head++
-		if p.head == len(p.buf) && p.head > 64 {
+		switch {
+		case p.head == len(p.buf):
 			p.buf = p.buf[:0]
+			p.head = 0
+		case p.head > 64 && p.head > len(p.buf)/2:
+			// Compact: copy the live tail to the front so the consumed
+			// prefix is reclaimed even when the producer stays ahead and
+			// the queue never fully drains. Each message moves at most
+			// once per halving, so the cost amortizes to O(1) per pop and
+			// the buffer stays O(queue depth).
+			n := copy(p.buf, p.buf[p.head:])
+			tail := p.buf[n:]
+			for i := range tail {
+				tail[i] = Message{}
+			}
+			p.buf = p.buf[:n]
 			p.head = 0
 		}
 		return m, true, false

@@ -1,0 +1,88 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPipeBoundedUnderProducerLead holds the queue at a constant depth while
+// streaming many messages through: the consumer never fully drains, which
+// before the compaction fix meant the consumed prefix was never reclaimed
+// and the buffer grew without bound (one slot per message ever sent).
+func TestPipeBoundedUnderProducerLead(t *testing.T) {
+	const depth = 100
+	const total = 200_000
+	p := newPipe()
+	for i := 0; i < depth; i++ {
+		p.send(Message{T: sim.Time(i), Kind: KindSync})
+	}
+	for i := depth; i < total; i++ {
+		p.send(Message{T: sim.Time(i), Kind: KindSync})
+		if _, ok, _ := p.tryRecv(); !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+	}
+	p.mu.Lock()
+	bufLen, head := len(p.buf), p.head
+	p.mu.Unlock()
+	if got := bufLen - head; got != depth {
+		t.Fatalf("queue depth = %d, want %d", got, depth)
+	}
+	// The buffer must be O(queue depth), not O(messages sent). The
+	// compaction policy allows up to ~2x depth plus the 64-message floor.
+	if bufLen > 4*depth+64 {
+		t.Fatalf("pipe buffer holds %d slots for a queue of depth %d — consumed prefix not reclaimed", bufLen, depth)
+	}
+}
+
+// TestPipeTryRecvAll covers the batched drain path: ordering, buffer
+// handback, and the closed signal.
+func TestPipeTryRecvAll(t *testing.T) {
+	p := newPipe()
+	for i := 0; i < 10; i++ {
+		p.send(Message{T: sim.Time(i), Kind: KindSync})
+	}
+	batch, closed := p.tryRecvAll(nil)
+	if closed || len(batch) != 10 {
+		t.Fatalf("batch len=%d closed=%v, want 10,false", len(batch), closed)
+	}
+	for i, m := range batch {
+		if m.T != sim.Time(i) {
+			t.Fatalf("batch[%d].T = %v, want %v", i, m.T, sim.Time(i))
+		}
+	}
+	// Empty now, not closed.
+	if b2, c2 := p.tryRecvAll(batch[:0]); len(b2) != 0 || c2 {
+		t.Fatalf("second drain: len=%d closed=%v, want 0,false", len(b2), c2)
+	}
+	// The handed-back slice becomes the pipe's buffer again: sends reuse it.
+	p.send(Message{T: 99, Kind: KindSync})
+	if m, ok, _ := p.tryRecv(); !ok || m.T != 99 {
+		t.Fatalf("recv after handback: ok=%v T=%v", ok, m.T)
+	}
+	p.close()
+	if _, c := p.tryRecvAll(nil); !c {
+		t.Fatal("drained closed pipe should report closed")
+	}
+}
+
+// TestPipeMixedRecvModes interleaves tryRecv with tryRecvAll to cover the
+// partially consumed buffer swap.
+func TestPipeMixedRecvModes(t *testing.T) {
+	p := newPipe()
+	for i := 0; i < 8; i++ {
+		p.send(Message{T: sim.Time(i), Kind: KindSync})
+	}
+	if m, ok, _ := p.tryRecv(); !ok || m.T != 0 {
+		t.Fatalf("tryRecv = %v,%v", m.T, ok)
+	}
+	batch, _ := p.tryRecvAll(nil)
+	if len(batch) != 7 || batch[0].T != 1 || batch[6].T != 7 {
+		t.Fatalf("batch after partial consume: len=%d first=%v last=%v",
+			len(batch), batch[0].T, batch[len(batch)-1].T)
+	}
+	if p.len() != 0 {
+		t.Fatalf("pipe should be empty, len=%d", p.len())
+	}
+}

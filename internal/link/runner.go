@@ -26,6 +26,20 @@ type Runner struct {
 	comps []core.Component
 	end   sim.Time
 
+	// Cached minima over the endpoints. horizon depends only on each
+	// endpoint's lastRecvT/peerDone and syncCap only on lastSentT, so both
+	// stay valid across loop iterations that neither receive nor send;
+	// endpoint mutations invalidate them.
+	horizonCache sim.Time
+	horizonOK    bool
+	syncCapCache sim.Time
+	syncCapOK    bool
+
+	// lastSyncAll is the virtual time of the last full sendSyncs pass;
+	// repeating the pass at the same time is a no-op on every endpoint and
+	// is skipped wholesale.
+	lastSyncAll sim.Time
+
 	// OnAdvance, if set, is invoked after each batch of events with the
 	// runner's new virtual time; the profiler hooks in here.
 	OnAdvance func(now sim.Time)
@@ -33,7 +47,7 @@ type Runner struct {
 
 // NewRunner creates a runner around sched.
 func NewRunner(name string, sched *sim.Scheduler) *Runner {
-	return &Runner{name: name, sched: sched}
+	return &Runner{name: name, sched: sched, lastSyncAll: -1}
 }
 
 // Name returns the runner's name.
@@ -53,6 +67,8 @@ func (r *Runner) Attach(e *Endpoint) {
 	}
 	e.runner = r
 	r.eps = append(r.eps, e)
+	r.horizonOK = false
+	r.syncCapOK = false
 }
 
 // AddComponent registers a component, attaching it to the runner's
@@ -88,8 +104,8 @@ func (r *Runner) Run(end sim.Time) {
 		}
 		// Cap the batch so peers receive syncs at least every sync
 		// interval of our virtual time.
-		if cap := r.syncCap(); cap < target {
-			target = cap
+		if sc := r.syncCap(); sc < target {
+			target = sc
 		}
 		if target > r.sched.Now() || r.runnableBefore(target) {
 			r.sched.RunBefore(target)
@@ -119,19 +135,30 @@ func (r *Runner) runnableBefore(t sim.Time) bool {
 }
 
 // horizon is the minimum over endpoints of how far this runner may advance.
+// The minimum is cached; receiving a message or losing a peer invalidates
+// it, so loop iterations that process no messages skip the scan.
 func (r *Runner) horizon() sim.Time {
+	if r.horizonOK {
+		return r.horizonCache
+	}
 	h := sim.Infinity
 	for _, e := range r.eps {
 		if eh := e.horizon(); eh < h {
 			h = eh
 		}
 	}
+	r.horizonCache = h
+	r.horizonOK = true
 	return h
 }
 
 // syncCap bounds batch size so that each peer hears from us at least once
-// per its channel's sync interval.
+// per its channel's sync interval. Cached like horizon; sending on any
+// endpoint invalidates it.
 func (r *Runner) syncCap() sim.Time {
+	if r.syncCapOK {
+		return r.syncCapCache
+	}
 	c := sim.Infinity
 	for _, e := range r.eps {
 		floor := e.lastSentT
@@ -142,32 +169,51 @@ func (r *Runner) syncCap() sim.Time {
 			c = t
 		}
 	}
+	r.syncCapCache = c
+	r.syncCapOK = true
 	return c
 }
 
+// sendSyncs emits a sync on every endpoint that has not yet sent at the
+// current time. After one full pass at time t every endpoint's lastSentT is
+// >= t, so a repeat pass at the same time would be a no-op on each endpoint
+// and is coalesced away entirely.
 func (r *Runner) sendSyncs() {
 	now := r.sched.Now()
+	if now == r.lastSyncAll {
+		return
+	}
+	r.lastSyncAll = now
 	for _, e := range r.eps {
 		e.sendSync(now)
 	}
 }
 
 // drainAll consumes every already-queued incoming message on every endpoint
-// without blocking.
+// without blocking. Each endpoint's queue is taken as one batch — one lock
+// acquisition and one wall-clock sample per batch rather than per message —
+// which is what keeps per-message fabric overhead low enough for
+// decomposition to pay off.
 func (r *Runner) drainAll() {
 	for _, e := range r.eps {
-		for {
-			m, ok, closed := e.in.tryRecv()
-			if !ok {
-				if closed {
-					e.peerDone = true
-				}
-				break
+		batch, closed := e.in.tryRecvAll(e.scratch)
+		if len(batch) == 0 {
+			e.scratch = batch
+			if closed && !e.peerDone {
+				e.peerDone = true
+				r.horizonOK = false
 			}
-			start := time.Now()
-			e.handle(m)
-			e.Stats.ProcNanos += uint64(time.Since(start).Nanoseconds())
+			continue
 		}
+		start := time.Now()
+		for i := range batch {
+			e.handle(batch[i])
+		}
+		e.Stats.ProcNanos += uint64(time.Since(start).Nanoseconds())
+		// Drop payload references before handing the batch back to the
+		// pipe as the next swap buffer.
+		clear(batch)
+		e.scratch = batch
 	}
 }
 
@@ -190,6 +236,7 @@ func (r *Runner) blockOnLimiting() {
 	limiting.Stats.WaitNanos += uint64(time.Since(start).Nanoseconds())
 	if !ok {
 		limiting.peerDone = true
+		r.horizonOK = false
 		return
 	}
 	limiting.handle(m)

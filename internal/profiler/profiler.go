@@ -54,8 +54,8 @@ func NewCollector() *Collector { return &Collector{start: time.Now()} }
 // Attach schedules periodic sampling (every interval of virtual time) on
 // every runner in the group. Call from orch.Simulation.PreRun, i.e. after
 // wiring and before execution. Samples are appended from each runner's own
-// goroutine; runners never sample concurrently with each other only in
-// sequential tests, so a small critical section guards the slice.
+// goroutine, so in a coupled run many runners sample concurrently; a small
+// critical section guards the shared slice.
 func (c *Collector) Attach(g *link.Group, interval sim.Time) {
 	for _, r := range g.Runners {
 		r := r
@@ -76,9 +76,9 @@ func (c *Collector) Attach(g *link.Group, interval sim.Time) {
 			c.mu.Lock()
 			c.samples = append(c.samples, s)
 			c.mu.Unlock()
-			r.Scheduler().AtSrc(r.Scheduler().Now()+interval, -1, tick)
+			r.Scheduler().PostSrc(r.Scheduler().Now()+interval, -1, tick)
 		}
-		r.Scheduler().AtSrc(interval, -1, tick)
+		r.Scheduler().PostSrc(interval, -1, tick)
 	}
 }
 
@@ -89,8 +89,13 @@ func (c *Collector) Samples() []Sample {
 	return append([]Sample(nil), c.samples...)
 }
 
-// Add appends a sample directly (used by tests and modeled profiles).
-func (c *Collector) Add(s Sample) { c.samples = append(c.samples, s) }
+// Add appends a sample directly (used by tests and modeled profiles). It is
+// safe to call concurrently with Attach-driven sampling.
+func (c *Collector) Add(s Sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
 
 // WriteTo emits the samples as text log lines, one adapter per line:
 //
@@ -98,7 +103,7 @@ func (c *Collector) Add(s Sample) { c.samples = append(c.samples, s) }
 //	  wait=<ns> proc=<ns> txd=<n> txs=<n> rxd=<n> rxs=<n>
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var total int64
-	for _, s := range c.samples {
+	for _, s := range c.Samples() {
 		if len(s.Adapters) == 0 {
 			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d\n",
 				s.Sim, s.WallNs, int64(s.Virt))

@@ -1,12 +1,29 @@
 package sim
 
-// The event queue is a binary min-heap with a total, deterministic order:
+// The event queue is a 4-ary min-heap with a total, deterministic order:
 // events are compared by (time, source, sequence). Source identifies who
 // scheduled the event (the local component or an input channel), sequence is
 // a per-scheduler monotone counter. Because every tiebreak is explicit, a
 // simulation produces the same event order regardless of goroutine
 // interleaving, which is what makes coupled (parallel) and sequential
 // execution bit-identical.
+//
+// Two layout choices matter for the hot path:
+//
+//   - Entries are stored by value, so steady-state scheduling performs no
+//     per-event heap allocation (a Timer is only allocated when the caller
+//     asked for a cancellable handle via At/After/AtSrc; Post/PostSrc skip
+//     it).
+//   - The heap is 4-ary rather than binary: half the depth means half the
+//     move chain on every sift, and the four children sit in adjacent cache
+//     lines, which measurably beats the binary layout for the timer-churn
+//     pattern that dominates the substrate simulators.
+//
+// Pop additionally leaves a "hole" at the root instead of restructuring
+// immediately. The kernel's dominant pattern is pop-min-then-push-later (an
+// event's callback schedules its successor), and a push into the hole is a
+// single top-down sift of the new element — the classic replace-top fusion —
+// instead of a full pop restructure plus a bottom-up push.
 
 // Timer is a handle to a scheduled event that can be cancelled or inspected.
 // Cancellation is lazy: the entry stays in the heap and is skipped when it
@@ -39,10 +56,10 @@ type eventEntry struct {
 	src   int32
 	seq   uint64
 	fn    func()
-	timer *Timer
+	timer *Timer // nil for Post/PostSrc events (not cancellable)
 }
 
-func eventLess(a, b *eventEntry) bool {
+func entryLess(a, b *eventEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -55,59 +72,115 @@ func eventLess(a, b *eventEntry) bool {
 // eventQueue is a hand-rolled heap to avoid container/heap interface
 // allocation overhead on the hottest path in the kernel.
 type eventQueue struct {
-	h []*eventEntry
+	h []eventEntry
+	// hole marks that h[0] has been popped but the slot not yet refilled;
+	// the next Push drops straight into it (replace-top fast path).
+	hole bool
 }
 
-func (q *eventQueue) Len() int { return len(q.h) }
+const heapArity = 4
 
-func (q *eventQueue) Push(e *eventEntry) {
-	q.h = append(q.h, e)
-	i := len(q.h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(q.h[i], q.h[parent]) {
-			break
-		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
-		i = parent
+// Len reports the number of queued entries.
+func (q *eventQueue) Len() int {
+	n := len(q.h)
+	if q.hole {
+		n--
+	}
+	return n
+}
+
+// fill closes an open root hole by moving the last element to the root and
+// sifting it down. Must run before any operation that reads the root.
+func (q *eventQueue) fill() {
+	if !q.hole {
+		return
+	}
+	q.hole = false
+	n := len(q.h)
+	last := q.h[n-1]
+	q.h[n-1] = eventEntry{}
+	q.h = q.h[:n-1]
+	if n-1 > 0 {
+		q.h[0] = last
+		q.siftDown(0)
 	}
 }
 
-func (q *eventQueue) Peek() *eventEntry {
+// Push inserts e. If the root slot is an open hole, e sifts top-down into
+// place (one sift instead of a pop restructure plus a push).
+func (q *eventQueue) Push(e eventEntry) {
+	if q.hole {
+		q.hole = false
+		q.h[0] = e
+		q.siftDown(0)
+		return
+	}
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+}
+
+// top returns a pointer to the minimum entry, valid only until the next
+// mutation, or nil when the queue is empty.
+func (q *eventQueue) top() *eventEntry {
+	q.fill()
 	if len(q.h) == 0 {
 		return nil
 	}
-	return q.h[0]
+	return &q.h[0]
 }
 
-func (q *eventQueue) Pop() *eventEntry {
-	n := len(q.h)
-	if n == 0 {
-		return nil
+// Pop removes and returns the minimum entry. The root slot is left as a
+// hole for the next Push to reuse.
+func (q *eventQueue) Pop() (eventEntry, bool) {
+	q.fill()
+	if len(q.h) == 0 {
+		return eventEntry{}, false
 	}
-	top := q.h[0]
-	q.h[0] = q.h[n-1]
-	q.h[n-1] = nil
-	q.h = q.h[:n-1]
-	q.siftDown(0)
-	return top
+	e := q.h[0]
+	// Drop the popped slot's references; at/src/seq garbage is fine while
+	// the hole is open.
+	q.h[0].fn = nil
+	q.h[0].timer = nil
+	q.hole = true
+	return e, true
+}
+
+func (q *eventQueue) siftUp(i int) {
+	e := q.h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !entryLess(&e, &q.h[parent]) {
+			break
+		}
+		q.h[i] = q.h[parent]
+		i = parent
+	}
+	q.h[i] = e
 }
 
 func (q *eventQueue) siftDown(i int) {
 	n := len(q.h)
+	e := q.h[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && eventLess(q.h[l], q.h[smallest]) {
-			smallest = l
+		c := heapArity*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && eventLess(q.h[r], q.h[smallest]) {
-			smallest = r
+		best := c
+		end := c + heapArity
+		if end > n {
+			end = n
 		}
-		if smallest == i {
-			return
+		for j := c + 1; j < end; j++ {
+			if entryLess(&q.h[j], &q.h[best]) {
+				best = j
+			}
 		}
-		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
-		i = smallest
+		if !entryLess(&q.h[best], &e) {
+			break
+		}
+		q.h[i] = q.h[best]
+		i = best
 	}
+	q.h[i] = e
 }

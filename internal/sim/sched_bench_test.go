@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// Scheduler/event-queue microbenchmarks. The dominant kernel pattern in
+// every substrate simulator is timer churn: pop the earliest event, whose
+// callback schedules a successor slightly later (NIC DMA completions, TCP
+// retransmit timers, closed-loop client think times all look like this).
+// Results are recorded as the perf baseline in BENCH_sched.json (see
+// scripts/bench.sh).
+
+// BenchmarkTimerChurn measures the pop-min-then-push-later pattern through
+// the public Scheduler API with k timers in flight. ns/op is per event
+// executed.
+func benchmarkTimerChurn(b *testing.B, k int) {
+	s := NewScheduler(1)
+	// Deterministic but non-uniform deltas keep the heap from degenerating
+	// into FIFO order.
+	delta := func(i int) Time { return Time(100 + (i*2654435761)%1000) }
+	var fns []func()
+	for i := 0; i < k; i++ {
+		i := i
+		var fn func()
+		fn = func() { s.After(delta(i), fn) }
+		fns = append(fns, fn)
+		s.At(Time(delta(i)), fn)
+	}
+	_ = fns
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Step()
+	}
+}
+
+func BenchmarkTimerChurn16(b *testing.B)   { benchmarkTimerChurn(b, 16) }
+func BenchmarkTimerChurn256(b *testing.B)  { benchmarkTimerChurn(b, 256) }
+func BenchmarkTimerChurn4096(b *testing.B) { benchmarkTimerChurn(b, 4096) }
+
+// BenchmarkQueueChurn measures the raw event queue (no Scheduler wrapper):
+// pop the min, push a replacement later. ns/op is per pop+push pair.
+func BenchmarkQueueChurn1024(b *testing.B) {
+	var q eventQueue
+	var seq uint64
+	push := func(at Time, src int32) {
+		seq++
+		q.Push(eventEntry{at: at, src: src, seq: seq, fn: func() {}})
+	}
+	for i := 0; i < 1024; i++ {
+		push(Time(100+(i*2654435761)%100000), int32(i%7))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e, ok := q.Pop()
+		if !ok {
+			b.Fatal("queue drained")
+		}
+		push(e.at+Time(100+(n*40503)%1000), e.src)
+	}
+}
+
+// BenchmarkSchedulerMixed interleaves scheduling, cancellation, and
+// execution the way host/NIC models do: every fourth timer is cancelled
+// before it fires.
+func BenchmarkSchedulerMixed(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tm := s.After(Time(500+(n*40503)%500), func() {})
+		if n%4 == 0 {
+			tm.Cancel()
+		}
+		s.After(Time(100+(n*2654435761)%400), func() {})
+		s.Step()
+		s.Step()
+	}
+}

@@ -61,26 +61,45 @@ func (s *Scheduler) atSrc(t Time, src int32, fn func()) *Timer {
 	}
 	s.seq++
 	tm := &Timer{at: t}
-	s.q.Push(&eventEntry{at: t, src: src, seq: s.seq, fn: fn, timer: tm})
+	s.q.Push(eventEntry{at: t, src: src, seq: s.seq, fn: fn, timer: tm})
 	return tm
+}
+
+// Post schedules fn at absolute time t like At, but returns no Timer: the
+// event cannot be cancelled, and in exchange the kernel allocates nothing
+// beyond the queue slot. Hot paths that never cancel (message delivery,
+// periodic sampling) should prefer it.
+func (s *Scheduler) Post(t Time, fn func()) { s.PostSrc(t, s.id, fn) }
+
+// PostSrc is Post with an explicit ordering source. An event posted here
+// orders identically to one scheduled with AtSrc at the same call position;
+// the two differ only in the existence of a cancellation handle.
+func (s *Scheduler) PostSrc(t Time, src int32, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.q.Push(eventEntry{at: t, src: src, seq: s.seq, fn: fn})
 }
 
 // PeekTime returns the time of the earliest pending event. ok is false when
 // the queue holds no runnable event.
 func (s *Scheduler) PeekTime() (t Time, ok bool) {
-	s.skipCanceled()
-	e := s.q.Peek()
+	e := s.skipCanceled()
 	if e == nil {
 		return 0, false
 	}
 	return e.at, true
 }
 
-func (s *Scheduler) skipCanceled() {
+// skipCanceled discards lazily cancelled timers from the front of the queue
+// and returns the first live entry (valid until the next queue mutation),
+// or nil when the queue is empty.
+func (s *Scheduler) skipCanceled() *eventEntry {
 	for {
-		e := s.q.Peek()
+		e := s.q.top()
 		if e == nil || e.timer == nil || !e.timer.canceled {
-			return
+			return e
 		}
 		s.q.Pop()
 	}
@@ -89,18 +108,23 @@ func (s *Scheduler) skipCanceled() {
 // Step executes the earliest pending event, advancing Now to its timestamp.
 // It reports whether an event ran.
 func (s *Scheduler) Step() bool {
-	s.skipCanceled()
-	e := s.q.Pop()
-	if e == nil {
+	if s.skipCanceled() == nil {
 		return false
 	}
+	s.runHead()
+	return true
+}
+
+// runHead pops and executes the queue head, which the caller has already
+// verified (via skipCanceled) to be a live entry.
+func (s *Scheduler) runHead() {
+	e, _ := s.q.Pop()
 	s.now = e.at
 	if e.timer != nil {
 		e.timer.fired = true
 	}
 	s.done++
 	e.fn()
-	return true
 }
 
 // RunUntil executes every event with timestamp <= limit and then advances
@@ -108,11 +132,11 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) RunUntil(limit Time) uint64 {
 	var n uint64
 	for {
-		t, ok := s.PeekTime()
-		if !ok || t > limit {
+		e := s.skipCanceled()
+		if e == nil || e.at > limit {
 			break
 		}
-		s.Step()
+		s.runHead()
 		n++
 	}
 	if s.now < limit {
@@ -130,11 +154,11 @@ func (s *Scheduler) RunUntil(limit Time) uint64 {
 func (s *Scheduler) RunBefore(limit Time) uint64 {
 	var n uint64
 	for {
-		t, ok := s.PeekTime()
-		if !ok || t >= limit {
+		e := s.skipCanceled()
+		if e == nil || e.at >= limit {
 			break
 		}
-		s.Step()
+		s.runHead()
 		n++
 	}
 	if s.now < limit {

@@ -181,14 +181,18 @@ func TestEventQueueSortedProperty(t *testing.T) {
 		}
 		q := &eventQueue{}
 		for i := 0; i < n; i++ {
-			q.Push(&eventEntry{at: Time(times[i]), src: int32(srcs[i]), seq: uint64(i)})
+			q.Push(eventEntry{at: Time(times[i]), src: int32(srcs[i]), seq: uint64(i)})
 		}
-		var popped []*eventEntry
+		var popped []eventEntry
 		for q.Len() > 0 {
-			popped = append(popped, q.Pop())
+			e, ok := q.Pop()
+			if !ok {
+				return false
+			}
+			popped = append(popped, e)
 		}
 		return sort.SliceIsSorted(popped, func(i, j int) bool {
-			return eventLess(popped[i], popped[j])
+			return entryLess(&popped[i], &popped[j])
 		}) && len(popped) == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -87,7 +87,11 @@ type CDFPoint struct {
 }
 
 // CDF returns n evenly spaced quantile points, suitable for plotting the
-// paper's latency CDFs.
+// paper's latency CDFs. Each point's value is the nearest-rank quantile —
+// the same rule Percentile uses — so CDF(n)[i] always equals
+// Percentile(100*(i+1)/n) for the same fraction. Truncating instead of
+// rounding up here used to pick one rank lower whenever f*N landed just
+// under an integer (float rounding, e.g. 0.3*10 = 2.9999999999999996).
 func (l *Latency) CDF(n int) []CDFPoint {
 	if len(l.samples) == 0 || n <= 0 {
 		return nil
@@ -96,9 +100,12 @@ func (l *Latency) CDF(n int) []CDFPoint {
 	out := make([]CDFPoint, 0, n)
 	for i := 1; i <= n; i++ {
 		f := float64(i) / float64(n)
-		idx := int(f*float64(len(l.samples))) - 1
+		idx := int(math.Ceil(f*float64(len(l.samples)))) - 1
 		if idx < 0 {
 			idx = 0
+		}
+		if idx >= len(l.samples) {
+			idx = len(l.samples) - 1
 		}
 		out = append(out, CDFPoint{Value: l.samples[idx], Frac: f})
 	}
@@ -171,15 +178,23 @@ func (t *Table) Row(vals ...interface{}) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may carry more cells
+// than there are headers; overflow columns get their own widths and the
+// separator row spans them.
 func (t *Table) String() string {
-	width := make([]int, len(t.header))
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
 	for i, h := range t.header {
 		width[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -190,12 +205,12 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", width[min(i, len(width)-1)], c)
+			fmt.Fprintf(&b, "%-*s", width[i], c)
 		}
 		b.WriteString("\n")
 	}
 	line(t.header)
-	sep := make([]string, len(t.header))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", width[i])
 	}
@@ -204,11 +219,4 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

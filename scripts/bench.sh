@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerate the repository's benchmark-baseline files. Runs the link and
+# scheduler microbenchmark suites and appends one revision entry to
+# BENCH_link.json / BENCH_sched.json via cmd/benchjson. Every perf-relevant
+# PR should run this and commit the updated files so the repository carries
+# its own perf trajectory.
+#
+# Usage: scripts/bench.sh [rev-label]
+# The label defaults to the current git short hash.
+set -e
+cd "$(dirname "$0")/.."
+
+REV="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
+COUNT="${BENCH_COUNT:-3}"
+TIME="${BENCH_TIME:-1s}"
+
+echo "== link fabric benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkDrain|BenchmarkPipe|BenchmarkCoupled' \
+    -benchtime "$TIME" -count "$COUNT" ./internal/link/ |
+    go run ./cmd/benchjson -suite link -out BENCH_link.json -rev "$REV"
+
+echo "== scheduler benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkTimerChurn|BenchmarkQueueChurn|BenchmarkSchedulerMixed' \
+    -benchtime "$TIME" -count "$COUNT" ./internal/sim/ |
+    go run ./cmd/benchjson -suite sched -out BENCH_sched.json -rev "$REV"
