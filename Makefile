@@ -1,15 +1,16 @@
 # Tier-1 gate and convenience targets. `make check` is what every PR must
 # keep green (see README.md); `make race` adds the data-race gate over the
-# packages with cross-goroutine traffic; `make bench` refreshes the
+# packages with cross-goroutine traffic; `make chaos` runs the transport
+# fault-injection suite under the race detector; `make bench` refreshes the
 # committed benchmark baselines.
 
 GO ?= go
 
-.PHONY: check build vet test race bench all
+.PHONY: check build vet test race chaos bench all
 
 all: check race
 
-check: vet build test
+check: vet build test chaos
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/link/ ./internal/orch/ ./internal/profiler/
+
+# Fault-injection suite: supervised transport under connection kills,
+# garbles, and delays, with goroutine-leak accounting — raced.
+chaos:
+	$(GO) test -race -run 'TestSupervised|TestSupervisor|TestPump|TestServe|TestDistributed' \
+		./internal/proxy/ ./internal/orch/
 
 bench:
 	sh scripts/bench.sh

@@ -46,6 +46,13 @@ func catalog() map[string]runner {
 		"fig10": func(o experiments.Options) (string, error) {
 			return experiments.Fig10(o).String(), nil
 		},
+		"scaleout": func(o experiments.Options) (string, error) {
+			r, err := experiments.ScaleOut(o)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		},
 		"configeffort": func(experiments.Options) (string, error) {
 			r, err := experiments.ConfigEffort(".")
 			if err != nil {

@@ -31,6 +31,7 @@ type pipe struct {
 	buf    []Message
 	head   int
 	closed bool
+	intr   bool
 }
 
 func newPipe() *pipe {
@@ -120,6 +121,36 @@ func (p *pipe) popLocked() (Message, bool, bool) {
 		return m, true, false
 	}
 	return Message{}, false, p.closed
+}
+
+// interrupt permanently wakes receivers blocked in recvInterruptible. The
+// flag is sticky: once set, recvInterruptible never blocks again, though it
+// still drains messages already queued. The transport layer uses this to
+// cancel its pump goroutine, which blocks here on a pipe — not on the
+// network connection — and so is not unblocked by closing the socket.
+func (p *pipe) interrupt() {
+	p.mu.Lock()
+	p.intr = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// recvInterruptible behaves like recv but additionally returns intr=true
+// (with ok=false, closed=false) once interrupt was called and no queued
+// message remains.
+func (p *pipe) recvInterruptible() (m Message, ok, closed, intr bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		m, ok, closed = p.popLocked()
+		if ok || closed {
+			return m, ok, closed, false
+		}
+		if p.intr {
+			return Message{}, false, false, true
+		}
+		p.cond.Wait()
+	}
 }
 
 // close marks the pipe as finished; blocked receivers wake up.

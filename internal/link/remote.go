@@ -43,9 +43,27 @@ func (r *Remote) TryRecv() (m Message, ok, closed bool) {
 	return r.fromLocal.tryRecv()
 }
 
+// RecvInterruptible blocks like Recv but additionally returns intr=true
+// once Interrupt was called and every queued message has been drained.
+// ok=false with intr=false still means the local side finished cleanly.
+// Transport pumps use this so their outbound goroutine — blocked on the
+// pipe, not the socket — can be cancelled without leaking.
+func (r *Remote) RecvInterruptible() (m Message, ok, intr bool) {
+	m, ok, _, intr = r.fromLocal.recvInterruptible()
+	return m, ok, intr
+}
+
+// Interrupt permanently wakes any receiver blocked in RecvInterruptible.
+// It is idempotent and safe to call from any goroutine.
+func (r *Remote) Interrupt() { r.fromLocal.interrupt() }
+
 // Inject delivers a message from the remote peer to the local endpoint.
+// Injecting after CloseToLocal is a protocol violation and panics; the
+// transport's per-channel sequence resync exists to prevent exactly that.
 func (r *Remote) Inject(m Message) { r.toLocal.send(m) }
 
 // CloseToLocal signals that the remote peer finished (its final sync has
-// been injected); the local runner treats the channel as drained.
+// been injected); the local runner treats the channel as drained. It is
+// idempotent: a transport may call it again after a dirty disconnect that
+// raced with a clean end of stream.
 func (r *Remote) CloseToLocal() { r.toLocal.close() }

@@ -61,12 +61,25 @@ type TrunkPair struct {
 	SinkB core.Sink
 }
 
+// remoteConn is one side of a connection whose peer component lives in
+// another OS process: the local endpoint is wired like any channel side,
+// and the spliced link.Remote half is pumped by a proxy supervisor
+// (package proxy) over the scale-out transport.
+type remoteConn struct {
+	name   string
+	side   Side
+	id     int32 // ordering source for deliveries to side.Sink
+	ep     *link.Endpoint
+	remote *link.Remote
+}
+
 // Simulation is a configured set of components and connections.
 type Simulation struct {
 	comps   []core.Component
 	srcOf   map[core.Component]int32
 	conns   []*connection
 	trunks  []*trunkConn
+	remotes []*remoteConn
 	nextSrc int32
 
 	// Group is populated by RunCoupled for profiler attachment.
@@ -130,6 +143,41 @@ func (s *Simulation) ConnectTrunk(name string, latency, syncInterval sim.Time,
 	s.trunks = append(s.trunks, t)
 }
 
+// Reserve advances the event-ordering source counter by n without
+// registering anything. Partitioned processes use it to stand in for
+// components that live in the peer process, keeping source-id assignment
+// — and therefore event ordering — aligned with the monolithic run: every
+// process scripts the SAME component/connection sequence, registering its
+// own pieces and reserving the peer's.
+func (s *Simulation) Reserve(n int32) {
+	if n < 0 {
+		panic("orch: Reserve with negative count")
+	}
+	s.nextSrc += n
+}
+
+// ConnectRemote wires the local side of a channel whose peer component
+// runs in another process — the distributed-run analog of Connect. The
+// returned link.Remote is the transport-facing half; hand it to a
+// proxy.Supervisor before running. sideA says whether this process holds
+// side A of the mirrored connection: Connect assigns the first id to side
+// A's sink and the second to side B's, and the two processes must make the
+// same choice from opposite ends for a distributed run to be bit-identical
+// to the monolithic one. Simulations with remote connections only execute
+// coupled; RunSequential panics.
+func (s *Simulation) ConnectRemote(name string, latency, syncInterval sim.Time, local Side, sideA bool) *link.Remote {
+	s.mustHave(local.Comp, name)
+	id := s.nextSrc
+	if !sideA {
+		id = s.nextSrc + 1
+	}
+	s.nextSrc += 2
+	ep, remote := link.NewHalf(name, latency, syncInterval)
+	rc := &remoteConn{name: name, side: local, id: id, ep: ep, remote: remote}
+	s.remotes = append(s.remotes, rc)
+	return remote
+}
+
 func (s *Simulation) mustHave(c core.Component, conn string) {
 	if _, ok := s.srcOf[c]; !ok {
 		panic(fmt.Sprintf("orch: connection %s references unregistered component", conn))
@@ -140,6 +188,9 @@ func (s *Simulation) mustHave(c core.Component, conn string) {
 // end (events at exactly end do not run). It returns the scheduler for
 // statistics.
 func (s *Simulation) RunSequential(end sim.Time) *sim.Scheduler {
+	if len(s.remotes) > 0 {
+		panic("orch: RunSequential on a simulation with remote connections; distributed runs are coupled-only")
+	}
 	sched := sim.NewScheduler(0)
 	for _, c := range s.comps {
 		c.Attach(core.Env{Sched: sched, Src: s.srcOf[c]})
@@ -207,6 +258,12 @@ func (s *Simulation) RunCoupled(end sim.Time) error {
 			p.BindA(ta.Port(uint16(i)))
 			p.BindB(tb.Port(uint16(i)))
 		}
+	}
+	for _, rc := range s.remotes {
+		r := runners[rc.side.Comp]
+		r.Attach(rc.ep)
+		rc.ep.SetSink(0, rc.id, rc.side.Sink)
+		rc.side.Bind(rc.ep)
 	}
 	// Components attach to their runner's scheduler with the same ordering
 	// sources as in sequential mode.

@@ -23,8 +23,19 @@ import (
 	"time"
 
 	"repro/internal/link"
+	"repro/internal/proxy"
 	"repro/internal/sim"
 )
+
+// TransportSample is one scale-out proxy transport's counter snapshot —
+// the wall-clock layer underneath the virtual-time adapters. Distributed
+// runs attach one per supervisor so a profile shows both what the
+// simulation waited for (adapter counters) and what the wire did to cause
+// it (reconnects, retransmits, backoff time).
+type TransportSample struct {
+	Name string // supervisor label ("client", "site0", ...)
+	proxy.Counters
+}
 
 // AdapterSample is one adapter's counter snapshot.
 type AdapterSample struct {
@@ -43,9 +54,10 @@ type Sample struct {
 
 // Collector gathers samples from a coupled run.
 type Collector struct {
-	mu      sync.Mutex
-	samples []Sample
-	start   time.Time
+	mu         sync.Mutex
+	samples    []Sample
+	transports []TransportSample
+	start      time.Time
 }
 
 // NewCollector creates an empty collector.
@@ -97,6 +109,21 @@ func (c *Collector) Add(s Sample) {
 	c.mu.Unlock()
 }
 
+// AddTransport appends a transport counter snapshot; distributed harnesses
+// call it once per supervisor after the run ends.
+func (c *Collector) AddTransport(ts TransportSample) {
+	c.mu.Lock()
+	c.transports = append(c.transports, ts)
+	c.mu.Unlock()
+}
+
+// Transports returns the attached transport snapshots.
+func (c *Collector) Transports() []TransportSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TransportSample(nil), c.transports...)
+}
+
 // WriteTo emits the samples as text log lines, one adapter per line:
 //
 //	splitsim-prof sim=<name> wall=<ns> virt=<ps> ep=<label> peer=<sim>
@@ -123,13 +150,34 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	for _, ts := range c.Transports() {
+		n, err := fmt.Fprintf(w,
+			"splitsim-prof transport=%s dials=%d dialfail=%d reconn=%d ftx=%d frx=%d btx=%d brx=%d hbtx=%d hbrx=%d acktx=%d ackrx=%d retx=%d corrupt=%d backoff=%d\n",
+			ts.Name, ts.Dials, ts.DialFailures, ts.Reconnects,
+			ts.FramesTx, ts.FramesRx, ts.BytesTx, ts.BytesRx,
+			ts.HeartbeatsTx, ts.HeartbeatsRx, ts.AcksTx, ts.AcksRx,
+			ts.Retransmits, ts.Corrupt, ts.BackoffNanos)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
 	return total, nil
 }
 
 // ParseLog reads log lines written by WriteTo, reassembling samples (lines
-// sharing sim+wall+virt merge into one sample).
+// sharing sim+wall+virt merge into one sample). Transport lines are
+// skipped; use ParseLogFull to recover them too.
 func ParseLog(r io.Reader) ([]Sample, error) {
+	samples, _, err := ParseLogFull(r)
+	return samples, err
+}
+
+// ParseLogFull reads log lines written by WriteTo, reassembling both the
+// per-simulator samples and the transport counter lines.
+func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 	var out []Sample
+	var transports []TransportSample
 	idx := make(map[string]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -143,18 +191,40 @@ func ParseLog(r io.Reader) ([]Sample, error) {
 		for _, f := range fields {
 			k, v, ok := strings.Cut(f, "=")
 			if !ok {
-				return nil, fmt.Errorf("profiler: bad field %q", f)
+				return nil, nil, fmt.Errorf("profiler: bad field %q", f)
 			}
 			kv[k] = v
+		}
+		if name, isTransport := kv["transport"]; isTransport {
+			ts := TransportSample{Name: name}
+			for _, f := range []struct {
+				name string
+				dst  *uint64
+			}{
+				{"dials", &ts.Dials}, {"dialfail", &ts.DialFailures},
+				{"reconn", &ts.Reconnects},
+				{"ftx", &ts.FramesTx}, {"frx", &ts.FramesRx},
+				{"btx", &ts.BytesTx}, {"brx", &ts.BytesRx},
+				{"hbtx", &ts.HeartbeatsTx}, {"hbrx", &ts.HeartbeatsRx},
+				{"acktx", &ts.AcksTx}, {"ackrx", &ts.AcksRx},
+				{"retx", &ts.Retransmits}, {"corrupt", &ts.Corrupt},
+				{"backoff", &ts.BackoffNanos},
+			} {
+				if _, err := fmt.Sscanf(kv[f.name], "%d", f.dst); err != nil {
+					return nil, nil, fmt.Errorf("profiler: bad %s %q", f.name, kv[f.name])
+				}
+			}
+			transports = append(transports, ts)
+			continue
 		}
 		var s Sample
 		s.Sim = kv["sim"]
 		if _, err := fmt.Sscanf(kv["wall"], "%d", &s.WallNs); err != nil {
-			return nil, fmt.Errorf("profiler: bad wall %q", kv["wall"])
+			return nil, nil, fmt.Errorf("profiler: bad wall %q", kv["wall"])
 		}
 		var virt int64
 		if _, err := fmt.Sscanf(kv["virt"], "%d", &virt); err != nil {
-			return nil, fmt.Errorf("profiler: bad virt %q", kv["virt"])
+			return nil, nil, fmt.Errorf("profiler: bad virt %q", kv["virt"])
 		}
 		s.Virt = sim.Time(virt)
 		key := fmt.Sprintf("%s/%d/%d", s.Sim, s.WallNs, virt)
@@ -181,11 +251,11 @@ func ParseLog(r io.Reader) ([]Sample, error) {
 				{"rxd", &a.RxData}, {"rxs", &a.RxSync},
 			} {
 				if err := parse(f.name, f.dst); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			out[i].Adapters = append(out[i].Adapters, a)
 		}
 	}
-	return out, sc.Err()
+	return out, transports, sc.Err()
 }

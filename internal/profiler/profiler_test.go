@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/link"
+	"repro/internal/proxy"
 	"repro/internal/sim"
 )
 
@@ -176,5 +177,39 @@ func TestColorGradient(t *testing.T) {
 	mid := color(0.5)
 	if mid != "#ffff40" {
 		t.Fatalf("color(0.5) = %s, want yellow", mid)
+	}
+}
+
+func TestTransportLogRoundTrip(t *testing.T) {
+	c := NewCollector()
+	for _, s := range twoSimSamples() {
+		c.Add(s)
+	}
+	ts := TransportSample{Name: "client", Counters: proxy.Counters{
+		Dials: 3, DialFailures: 1, Reconnects: 2,
+		FramesTx: 100, FramesRx: 90, BytesTx: 5000, BytesRx: 4500,
+		HeartbeatsTx: 7, HeartbeatsRx: 6, AcksTx: 4, AcksRx: 5,
+		Retransmits: 11, Corrupt: 1, BackoffNanos: 123456789,
+	}}
+	c.AddTransport(ts)
+	c.AddTransport(TransportSample{Name: "server"})
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, transports, err := ParseLogFull(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("parsed %d samples, want 6", len(samples))
+	}
+	if len(transports) != 2 || transports[0] != ts || transports[1].Name != "server" {
+		t.Fatalf("transport round trip changed: %+v", transports)
+	}
+	// The old entry point still works and skips transport lines.
+	only, err := ParseLog(strings.NewReader(b.String()))
+	if err != nil || len(only) != 6 {
+		t.Fatalf("ParseLog on mixed log: %d samples, err %v", len(only), err)
 	}
 }

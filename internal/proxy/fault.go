@@ -1,0 +1,208 @@
+package proxy
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FaultPlan scripts deterministic faults for one connection's outbound
+// byte stream. Offsets are absolute byte positions; a negative offset
+// disables that fault. Faults fire on the write path, which exercises both
+// peers: the writer sees the failure directly, the reader sees a truncated
+// or corrupted stream.
+type FaultPlan struct {
+	// KillAt closes the connection after this many bytes have been
+	// written (the remainder of the triggering write is dropped).
+	KillAt int64
+	// GarbleAt flips one bit in the byte at this stream offset before it
+	// reaches the wire — the checksum layer must catch it.
+	GarbleAt int64
+	// DelayAt sleeps Delay before the write containing this offset,
+	// stretching wall-clock time without touching virtual time.
+	DelayAt int64
+	Delay   time.Duration
+	// DoubleClose makes Close call the underlying Close twice, exercising
+	// idempotent teardown.
+	DoubleClose bool
+}
+
+// clean reports whether the plan injects nothing.
+func (p FaultPlan) clean() bool {
+	return p.KillAt < 0 && p.GarbleAt < 0 && p.DelayAt < 0 && !p.DoubleClose
+}
+
+// FaultConn wraps a net.Conn and executes a FaultPlan. It is the chaos
+// harness for the supervisor tests: every fault is scripted, so a failing
+// run replays exactly.
+type FaultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu      sync.Mutex
+	written int64
+	killed  bool
+}
+
+// NewFaultConn wraps conn with the given plan.
+func NewFaultConn(conn net.Conn, plan FaultPlan) *FaultConn {
+	return &FaultConn{Conn: conn, plan: plan}
+}
+
+// Write implements net.Conn with fault injection.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	start := c.written
+	killed := c.killed
+	c.mu.Unlock()
+	if killed {
+		return 0, net.ErrClosed
+	}
+	end := start + int64(len(p))
+	if c.plan.DelayAt >= 0 && start <= c.plan.DelayAt && c.plan.DelayAt < end {
+		time.Sleep(c.plan.Delay)
+	}
+	if c.plan.GarbleAt >= 0 && start <= c.plan.GarbleAt && c.plan.GarbleAt < end {
+		q := append([]byte(nil), p...)
+		q[c.plan.GarbleAt-start] ^= 0x20
+		p = q
+	}
+	if c.plan.KillAt >= 0 && end > c.plan.KillAt {
+		// Write the prefix up to the kill point, then die mid-frame.
+		keep := c.plan.KillAt - start
+		if keep > 0 {
+			n, _ := c.Conn.Write(p[:keep])
+			c.mu.Lock()
+			c.written += int64(n)
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.killed = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return int(max64(0, c.plan.KillAt-start)), net.ErrClosed
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close implements net.Conn; with DoubleClose it closes twice.
+func (c *FaultConn) Close() error {
+	err := c.Conn.Close()
+	if c.plan.DoubleClose {
+		c.Conn.Close()
+	}
+	return err
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Chaos deals deterministic fault plans to successive connections from a
+// seeded sim.Rand — the supervisor's fault-injection harness. The first
+// Budget connections each get a random fault (kill, garble, or delay at a
+// random byte offset, plus occasional double-close); connections after the
+// budget are clean, so a supervised run always completes eventually and
+// the assertion can be exact: bit-identical output, typed error, or
+// nothing — never a deadlock.
+type Chaos struct {
+	mu     sync.Mutex
+	rng    *sim.Rand
+	budget int
+	window int64
+	delay  time.Duration
+	faults []FaultPlan // plans actually dealt, for test introspection
+}
+
+// NewChaos creates a dealer injecting faults into the first budget
+// connections, at byte offsets uniform in [0, window).
+func NewChaos(seed uint64, budget int, window int64) *Chaos {
+	return &Chaos{rng: sim.NewRand(seed), budget: budget, window: window,
+		delay: 2 * time.Millisecond}
+}
+
+// next deals the plan for one more connection.
+func (c *Chaos) next() FaultPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plan := FaultPlan{KillAt: -1, GarbleAt: -1, DelayAt: -1}
+	if len(c.faults) < c.budget {
+		off := c.rng.Int63n(c.window)
+		switch c.rng.Intn(3) {
+		case 0:
+			plan.KillAt = off
+		case 1:
+			plan.GarbleAt = off
+		case 2:
+			plan.DelayAt = off
+			plan.Delay = c.delay
+			// A delay alone never breaks the session; kill later so the
+			// reconnect path still runs.
+			plan.KillAt = off + 1 + c.rng.Int63n(c.window)
+		}
+		plan.DoubleClose = c.rng.Intn(2) == 0
+	}
+	c.faults = append(c.faults, plan)
+	return plan
+}
+
+// Wrap applies the next fault plan to conn.
+func (c *Chaos) Wrap(conn net.Conn) net.Conn {
+	plan := c.next()
+	if plan.clean() {
+		return conn
+	}
+	return NewFaultConn(conn, plan)
+}
+
+// Dealt returns how many connections were wrapped and how many carried
+// faults.
+func (c *Chaos) Dealt() (conns, faulty int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.faults {
+		if !p.clean() {
+			faulty++
+		}
+	}
+	return len(c.faults), faulty
+}
+
+// Dialer returns a Config.DialFunc that dials TCP and wraps every
+// connection with the next fault plan.
+func (c *Chaos) Dialer() func(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return c.Wrap(conn), nil
+	}
+}
+
+// FaultListener wraps a listener so every accepted connection gets the
+// next fault plan — the server-side counterpart of Chaos.Dialer.
+type FaultListener struct {
+	net.Listener
+	Chaos *Chaos
+}
+
+// Accept implements net.Listener.
+func (l FaultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.Chaos.Wrap(conn), nil
+}

@@ -4,11 +4,22 @@
 // forward messages between simulator instances across hosts").
 //
 // One spliced channel half (link.NewHalf) lives in each process; a proxy
-// pumps its messages over a length-prefixed TCP framing. The conservative
+// pumps its messages over a length-prefixed, CRC32-C-checksummed TCP
+// framing (wire protocol v2, see wire.go and DESIGN.md). The conservative
 // synchronization protocol rides along unchanged: data and sync messages
 // carry the sender's virtual timestamps, so the receiver's horizon
-// computation is identical to the in-process case. Transport latency costs
-// wall-clock time only, never simulated time.
+// computation is identical to the in-process case. Transport latency —
+// and every recovery mechanism in this package: heartbeats, reconnect
+// backoff, retransmission — costs wall-clock time only, never simulated
+// time.
+//
+// Two layers are exported. Pump/Serve/Dial run one channel over one
+// connection with no recovery: if the connection dies, they fail with a
+// typed error (ErrClosed for a dirty disconnect). Supervisor (see
+// supervisor.go) is the production transport: it multiplexes many
+// channels over one connection, reconnects with bounded backoff, resyncs
+// retransmit state through a hello handshake so a resumed run is
+// bit-identical, and exports per-connection counters.
 //
 // Message payloads must be serializable; a Codec maps payload types to
 // bytes. RawFrameCodec covers Ethernet channels (the boundary type used by
@@ -16,16 +27,15 @@
 package proxy
 
 import (
-	"encoding/binary"
-	"errors"
+	"bufio"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/proto"
-	"repro/internal/sim"
 )
 
 // Codec serializes channel payloads for the wire.
@@ -51,144 +61,153 @@ func (RawFrameCodec) Decode(b []byte) (core.Message, error) {
 	return proto.RawFrame(append([]byte(nil), b...)), nil
 }
 
-// Wire framing: every message is
-//
-//	u32 length of the remainder
-//	u8  kind (0 sync, 1 data, 2 end-of-stream)
-//	i64 virtual timestamp (ps)
-//	u16 sub-channel
-//	payload bytes (data only)
-const (
-	kindSync byte = 0
-	kindData byte = 1
-	kindEOS  byte = 2
-)
-
-const headerLen = 1 + 8 + 2
-
-// maxFrame bounds a frame to keep a corrupted length prefix from
-// allocating unbounded memory.
-const maxFrame = 16 << 20
-
-// writeMsg frames one channel message onto w.
-func writeMsg(w io.Writer, m link.Message, codec Codec) error {
-	var payload []byte
-	kind := kindSync
+// encodeMsg turns one channel message into a complete wire frame on
+// channel id ch.
+func encodeMsg(dst []byte, ch uint16, m link.Message, codec Codec) ([]byte, error) {
 	if m.Kind == link.KindData {
-		kind = kindData
-		var err error
-		payload, err = codec.Encode(m.Payload)
+		payload, err := codec.Encode(m.Payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		if headerLen+len(payload) > maxFrame {
+			return nil, fmt.Errorf("proxy: payload of %d bytes exceeds frame limit", len(payload))
+		}
+		return appendWireFrame(dst, frame{kind: kindData, ch: ch, t: m.T, sub: m.Sub, payload: payload}), nil
 	}
-	buf := make([]byte, 4+headerLen, 4+headerLen+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(headerLen+len(payload)))
-	buf[4] = kind
-	binary.BigEndian.PutUint64(buf[5:], uint64(m.T))
-	binary.BigEndian.PutUint16(buf[13:], m.Sub)
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
+	return appendWireFrame(dst, frame{kind: kindSync, ch: ch, t: m.T}), nil
+}
+
+// writeMsg frames one channel message onto w (single-channel transport:
+// channel id 0).
+func writeMsg(w io.Writer, m link.Message, codec Codec) error {
+	buf, err := encodeMsg(nil, 0, m, codec)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 
 // writeEOS signals a clean end of stream.
 func writeEOS(w io.Writer) error {
-	var buf [4 + headerLen]byte
-	binary.BigEndian.PutUint32(buf[:], headerLen)
-	buf[4] = kindEOS
-	_, err := w.Write(buf[:])
+	_, err := w.Write(appendWireFrame(nil, frame{kind: kindEOS}))
 	return err
 }
 
-// readMsg reads one framed message. done reports a clean end of stream.
+// readMsg reads one framed message. done reports a clean end of stream; a
+// connection that dies before that point surfaces as ErrClosed, so callers
+// can tell a dirty disconnect from a clean shutdown. Heartbeats are
+// consumed silently (they carry no simulation content); any other control
+// frame is a protocol violation on a single-channel transport.
 func readMsg(r io.Reader, codec Codec) (m link.Message, done bool, err error) {
-	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return m, false, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < headerLen || n > maxFrame {
-		return m, false, fmt.Errorf("proxy: bad frame length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err = io.ReadFull(r, buf); err != nil {
-		return m, false, err
-	}
-	kind := buf[0]
-	m.T = sim.Time(binary.BigEndian.Uint64(buf[1:]))
-	m.Sub = binary.BigEndian.Uint16(buf[9:])
-	switch kind {
-	case kindEOS:
-		return m, true, nil
-	case kindSync:
-		m.Kind = link.KindSync
-		return m, false, nil
-	case kindData:
-		m.Kind = link.KindData
-		m.Payload, err = codec.Decode(buf[headerLen:])
-		return m, false, err
-	default:
-		return m, false, fmt.Errorf("proxy: unknown frame kind %d", kind)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return m, false, mapEOF(err)
+		}
+		switch f.kind {
+		case kindEOS:
+			return m, true, nil
+		case kindSync:
+			return link.Message{T: f.t, Kind: link.KindSync}, false, nil
+		case kindData:
+			payload, err := codec.Decode(f.payload)
+			if err != nil {
+				return m, false, err
+			}
+			return link.Message{T: f.t, Kind: link.KindData, Sub: f.sub, Payload: payload}, false, nil
+		case kindHeartbeat:
+			continue
+		case kindReject:
+			return m, false, ErrRejected
+		default:
+			return m, false, fmt.Errorf("%w: unexpected control frame kind %d", ErrCorrupt, f.kind)
+		}
 	}
 }
 
 // Pump runs both directions of one proxied channel over conn until the
 // local side finishes (outbound EOS sent) and the remote side finishes
-// (inbound EOS received). It owns the connection and closes it.
+// (inbound EOS received). It owns the connection and closes it. Pump
+// returns only after both pump goroutines have exited: when one direction
+// fails, the connection is closed (unblocking the inbound reader) and the
+// Remote is interrupted (unblocking the outbound goroutine, which waits on
+// a pipe that no socket close could ever wake — the leak this design
+// fixes).
 func Pump(conn net.Conn, remote *link.Remote, codec Codec) error {
-	defer conn.Close()
-	errc := make(chan error, 2)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			conn.Close()
+			remote.Interrupt()
+		})
+	}
+	defer stop()
 
+	errc := make(chan error, 2)
 	// Outbound: local simulator -> peer process.
 	go func() {
-		for {
-			m, ok := remote.Recv()
-			if !ok {
-				errc <- writeEOS(conn)
-				return
+		err := func() error {
+			for {
+				m, ok, intr := remote.RecvInterruptible()
+				if intr {
+					return nil // torn down by the inbound direction
+				}
+				if !ok {
+					return writeEOS(conn)
+				}
+				if err := writeMsg(conn, m, codec); err != nil {
+					return err
+				}
 			}
-			if err := writeMsg(conn, m, codec); err != nil {
-				errc <- err
-				return
-			}
+		}()
+		if err != nil {
+			stop()
 		}
+		errc <- err
 	}()
 	// Inbound: peer process -> local simulator.
 	go func() {
-		for {
-			m, done, err := readMsg(conn, codec)
-			if err != nil {
-				remote.CloseToLocal()
-				errc <- fmt.Errorf("proxy inbound: %w", err)
-				return
+		br := bufio.NewReader(conn)
+		err := func() error {
+			for {
+				m, done, err := readMsg(br, codec)
+				if err != nil {
+					remote.CloseToLocal()
+					return fmt.Errorf("proxy inbound: %w", err)
+				}
+				if done {
+					remote.CloseToLocal()
+					return nil
+				}
+				remote.Inject(m)
 			}
-			if done {
-				remote.CloseToLocal()
-				errc <- nil
-				return
-			}
-			remote.Inject(m)
+		}()
+		if err != nil {
+			stop()
 		}
+		errc <- err
 	}()
 
+	var first error
 	for i := 0; i < 2; i++ {
-		if err := <-errc; err != nil {
-			// The deferred close unblocks the other direction: its next
-			// conn operation fails, or the local endpoint's completion
-			// drains it. errc is buffered, so it never leaks.
-			return err
+		if err := <-errc; err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 // Serve accepts exactly one peer connection on ln and pumps the channel.
+// The listener is closed as soon as the connection is accepted, so a
+// second accidental dial fails fast at the dialer instead of hanging
+// silently in the accept backlog forever.
 func Serve(ln net.Listener, remote *link.Remote, codec Codec) error {
 	conn, err := ln.Accept()
 	if err != nil {
 		return err
 	}
+	ln.Close()
 	return Pump(conn, remote, codec)
 }
 
@@ -200,6 +219,3 @@ func Dial(addr string, remote *link.Remote, codec Codec) error {
 	}
 	return Pump(conn, remote, codec)
 }
-
-// ErrClosed is returned by helpers when the transport ended unexpectedly.
-var ErrClosed = errors.New("proxy: connection closed")

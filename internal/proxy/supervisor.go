@@ -1,0 +1,798 @@
+package proxy
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// Config tunes a Supervisor. The zero value gets production defaults; the
+// chaos tests shrink every interval to milliseconds.
+type Config struct {
+	// Heartbeat is the wall-clock interval at which an idle connection
+	// emits liveness frames (and piggybacked acks). Heartbeats never touch
+	// virtual time. Default 200ms.
+	Heartbeat time.Duration
+	// ReadTimeout declares a connection dead when no frame arrives for
+	// this long. Default 4×Heartbeat.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each socket flush. Default 10s.
+	WriteTimeout time.Duration
+	// BackoffMin and BackoffMax bound the exponential reconnect backoff.
+	// Each sleep is jittered uniformly in [0.5, 1.5)× the current value.
+	// Defaults 10ms and 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Linger is how long a finished server keeps accepting so the peer can
+	// reconnect once more and learn (via the hello exchange) that its last
+	// frames arrived. Default 1s.
+	Linger time.Duration
+	// MaxAttempts is the number of consecutive failed connection attempts
+	// (or sessions that die before completing the handshake) tolerated
+	// before the supervisor fails with ErrGaveUp. <0 means unlimited.
+	// Default 8.
+	MaxAttempts int
+	// Seed seeds the deterministic backoff-jitter PRNG (sim.Rand), so a
+	// given failure sequence reproduces exactly.
+	Seed uint64
+	// DialFunc overrides the transport dialer; fault-injection tests wrap
+	// connections here. Defaults to a plain TCP dial.
+	DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 200 * time.Millisecond
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 4 * c.Heartbeat
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.Linger <= 0 {
+		c.Linger = time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.DialFunc == nil {
+		var d net.Dialer
+		c.DialFunc = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return c
+}
+
+// chanState is the supervisor's view of one proxied channel: the spliced
+// link.Remote, the payload codec, the retransmit buffer of encoded frames
+// awaiting acknowledgment, and the implicit sequence counters on both
+// directions that make resync-after-reconnect exact.
+type chanState struct {
+	id     uint16
+	remote *link.Remote
+	codec  Codec
+
+	mu         sync.Mutex
+	sent       [][]byte // encoded frames [base, next), pruned by acks
+	base       uint64   // sequence number of sent[0]
+	next       uint64   // sequence number the collector assigns next
+	maxFlushed uint64   // highest sequence ever written to a socket
+	localDone  bool     // local endpoint drained; final frame in sent is EOS
+	recvSeq    uint64   // peer frames applied to the local endpoint
+	peerDone   bool     // peer EOS applied
+	peerAck    uint64   // peer-confirmed receive count for our frames
+}
+
+func (cs *chanState) append(fb []byte) {
+	cs.mu.Lock()
+	cs.sent = append(cs.sent, fb)
+	cs.next++
+	cs.mu.Unlock()
+}
+
+// ack records that the peer has received every frame below seq, pruning
+// the retransmit buffer.
+func (cs *chanState) ack(seq uint64) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if seq > cs.next {
+		return fmt.Errorf("%w: peer acked %d frames on channel %d, only %d sent",
+			ErrCorrupt, seq, cs.id, cs.next)
+	}
+	if seq > cs.peerAck {
+		cs.peerAck = seq
+	}
+	for cs.base < seq && len(cs.sent) > 0 {
+		cs.sent[0] = nil
+		cs.sent = cs.sent[1:]
+		cs.base++
+	}
+	return nil
+}
+
+// resync validates the peer's hello receive count and treats it as an ack.
+// A count outside [base, next] means the two processes have diverged state
+// (e.g. one restarted from scratch); that is unrecoverable.
+func (cs *chanState) resync(seq uint64) error {
+	cs.mu.Lock()
+	base, next := cs.base, cs.next
+	cs.mu.Unlock()
+	if seq < base || seq > next {
+		return fmt.Errorf("%w: peer resyncs channel %d at frame %d, retransmit window is [%d,%d]",
+			ErrHandshake, cs.id, seq, base, next)
+	}
+	return cs.ack(seq)
+}
+
+// framesFrom returns up to max encoded frames starting at sequence seq.
+// The frames are immutable; the caller writes them without holding locks.
+func (cs *chanState) framesFrom(seq uint64, max int) ([][]byte, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if seq < cs.base {
+		return nil, fmt.Errorf("%w: need frame %d on channel %d, buffer starts at %d",
+			ErrHandshake, seq, cs.id, cs.base)
+	}
+	i := int(seq - cs.base)
+	if i >= len(cs.sent) {
+		return nil, nil
+	}
+	frames := cs.sent[i:]
+	if len(frames) > max {
+		frames = frames[:max]
+	}
+	return frames, nil
+}
+
+// Supervisor owns the lifecycle of one or more proxied channels over a
+// single TCP connection: it dials (or accepts) with bounded exponential
+// backoff plus deterministic jitter, multiplexes every registered channel
+// over the connection, exchanges wall-clock heartbeats so a dead peer is
+// detected in bounded time, and — when the connection dies — reconnects
+// and resyncs from per-channel retransmit buffers so the simulation stream
+// resumes exactly where it left off. A run supervised on both ends either
+// completes bit-identically to the in-process coupled run or fails with a
+// typed error; it never deadlocks and never leaks its pump goroutines.
+type Supervisor struct {
+	cfg Config
+	rng *sim.Rand
+
+	chans []*chanState // sorted by id
+	byID  map[uint16]*chanState
+
+	kick    chan struct{} // outbound work available / ack requested
+	started sync.Once
+
+	running  atomic.Bool // a session is active (extra accepts are rejected)
+	byeSeen  atomic.Bool // peer confirmed completion
+	ackDirty atomic.Bool // reader requests an eager ack (EOS applied)
+	unacked  atomic.Uint64
+
+	fatalMu sync.Mutex
+	fatal   error
+
+	ctrs ctrs
+}
+
+// NewSupervisor creates a supervisor with the given configuration.
+// Register channels with AddChannel, then call Dial or Serve (exactly one
+// of them, matching the peer's role).
+func NewSupervisor(cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		cfg:  cfg,
+		rng:  sim.NewRand(cfg.Seed),
+		byID: make(map[uint16]*chanState),
+		kick: make(chan struct{}, 1),
+	}
+}
+
+// AddChannel registers one spliced channel half under a wire channel id.
+// Both peers must register the same id set; the hello handshake rejects
+// mismatches. Must be called before Dial or Serve.
+func (s *Supervisor) AddChannel(id uint16, remote *link.Remote, codec Codec) {
+	if _, dup := s.byID[id]; dup {
+		panic(fmt.Sprintf("proxy: channel id %d registered twice", id))
+	}
+	cs := &chanState{id: id, remote: remote, codec: codec}
+	s.byID[id] = cs
+	s.chans = append(s.chans, cs)
+	sort.Slice(s.chans, func(i, j int) bool { return s.chans[i].id < s.chans[j].id })
+}
+
+// Counters returns a snapshot of the transport counters.
+func (s *Supervisor) Counters() Counters { return s.ctrs.snapshot() }
+
+func (s *Supervisor) fail(err error) {
+	s.fatalMu.Lock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.fatalMu.Unlock()
+}
+
+func (s *Supervisor) fatalErr() error {
+	s.fatalMu.Lock()
+	defer s.fatalMu.Unlock()
+	return s.fatal
+}
+
+func (s *Supervisor) kickWriter() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// finished reports transport completion: every channel's local endpoint
+// has drained (EOS collected), the peer's EOS has been applied, and the
+// peer has acknowledged every frame we ever produced — including the EOS.
+func (s *Supervisor) finished() bool {
+	for _, cs := range s.chans {
+		cs.mu.Lock()
+		ok := cs.localDone && cs.peerDone && cs.peerAck >= cs.next
+		cs.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// startCollectors spawns one goroutine per channel that drains the local
+// endpoint into the retransmit buffer. Encoding happens here, once per
+// message, so retransmission after a reconnect reuses the same bytes.
+func (s *Supervisor) startCollectors() {
+	s.started.Do(func() {
+		for _, cs := range s.chans {
+			cs := cs
+			go func() {
+				for {
+					m, ok, intr := cs.remote.RecvInterruptible()
+					if intr {
+						return
+					}
+					if !ok {
+						fb := appendWireFrame(nil, frame{kind: kindEOS, ch: cs.id})
+						cs.mu.Lock()
+						cs.sent = append(cs.sent, fb)
+						cs.next++
+						cs.localDone = true
+						cs.mu.Unlock()
+						s.kickWriter()
+						return
+					}
+					fb, err := encodeMsg(nil, cs.id, m, cs.codec)
+					if err != nil {
+						s.fail(fmt.Errorf("proxy: channel %d: %w", cs.id, err))
+						s.kickWriter()
+						return
+					}
+					cs.append(fb)
+					s.kickWriter()
+				}
+			}()
+		}
+	})
+}
+
+// release interrupts the collectors (so they exit instead of leaking) and
+// closes every channel toward the local simulator, guaranteeing that a
+// failed transport can never leave a runner blocked forever on a message
+// that will not come: the run finishes — with wrong-but-discarded results
+// under the supervisor's returned error — rather than deadlocking.
+func (s *Supervisor) release() {
+	for _, cs := range s.chans {
+		cs.remote.Interrupt()
+		cs.remote.CloseToLocal()
+	}
+}
+
+// Dial supervises the client role: connect to addr, reconnecting with
+// backoff on failure, until the transport completes or fails terminally.
+func (s *Supervisor) Dial(ctx context.Context, addr string) error {
+	connect := func(ctx context.Context) (net.Conn, error) {
+		return s.cfg.DialFunc(ctx, addr)
+	}
+	return s.run(ctx, true, connect)
+}
+
+// errDone is the internal signal that a finished server's linger window
+// expired with no final reconnect: everything is delivered, stop serving.
+var errDone = errors.New("proxy: transport complete")
+
+// Serve supervises the server role: accept sessions on ln (one at a time;
+// concurrent extra connections are refused with a reject frame, which
+// surfaces as ErrRejected at the dialer) until the transport completes or
+// fails terminally. Serve owns ln and closes it on return.
+func (s *Supervisor) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close()
+	conns := make(chan net.Conn, 1)
+	acceptErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-done:
+				}
+				return
+			}
+			if s.running.Load() {
+				s.reject(c)
+				continue
+			}
+			select {
+			case conns <- c:
+			default:
+				s.reject(c)
+			}
+		}
+	}()
+	connect := func(ctx context.Context) (net.Conn, error) {
+		if s.finished() {
+			// Grace window: the peer may reconnect once more purely to
+			// learn from our hello that its final frames arrived.
+			t := time.NewTimer(s.cfg.Linger)
+			defer t.Stop()
+			select {
+			case c := <-conns:
+				return c, nil
+			case <-t.C:
+				return nil, errDone
+			case err := <-acceptErr:
+				return nil, err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		select {
+		case c := <-conns:
+			return c, nil
+		case err := <-acceptErr:
+			return nil, err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s.run(ctx, false, connect)
+}
+
+// reject refuses an extra connection with a typed wire frame so the dialer
+// fails fast with ErrRejected instead of hanging.
+func (s *Supervisor) reject(c net.Conn) {
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	c.Write(controlFrame(kindReject))
+	c.Close()
+}
+
+// run is the supervision loop shared by both roles.
+func (s *Supervisor) run(ctx context.Context, client bool, connect func(context.Context) (net.Conn, error)) error {
+	if len(s.chans) == 0 {
+		return errors.New("proxy: supervisor has no channels")
+	}
+	s.startCollectors()
+	defer s.release()
+
+	failures := 0
+	backoff := s.cfg.BackoffMin
+	giveUp := func(err error) error {
+		return fmt.Errorf("%w after %d attempts: %v", ErrGaveUp, failures, err)
+	}
+	for {
+		if err := s.fatalErr(); err != nil {
+			return err
+		}
+		if s.finished() && (client || s.byeSeen.Load()) {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := connect(ctx)
+		if errors.Is(err, errDone) {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !client {
+				return err // the listener itself broke
+			}
+			s.ctrs.dialFailures.Add(1)
+			failures++
+			if s.cfg.MaxAttempts >= 0 && failures > s.cfg.MaxAttempts {
+				return giveUp(err)
+			}
+			backoff = s.sleepBackoff(ctx, backoff)
+			continue
+		}
+		s.ctrs.dials.Add(1)
+		wasRetry := failures > 0
+		helloOK, serr := s.session(ctx, conn)
+		if helloOK {
+			failures = 0
+			backoff = s.cfg.BackoffMin
+			if wasRetry {
+				s.ctrs.reconnects.Add(1)
+			}
+		}
+		if err := s.fatalErr(); err != nil {
+			return err
+		}
+		if s.finished() && (client || s.byeSeen.Load()) {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if serr != nil {
+			failures++
+			if s.cfg.MaxAttempts >= 0 && failures > s.cfg.MaxAttempts {
+				return giveUp(serr)
+			}
+		}
+		backoff = s.sleepBackoff(ctx, backoff)
+	}
+}
+
+// sleepBackoff sleeps the current backoff with uniform jitter in
+// [0.5, 1.5)×, charges the wall time to the backoff counter, and returns
+// the doubled (capped) next value. The jitter PRNG is a seeded sim.Rand,
+// so a given failure sequence backs off identically across runs.
+func (s *Supervisor) sleepBackoff(ctx context.Context, cur time.Duration) time.Duration {
+	d := time.Duration(float64(cur) * (0.5 + s.rng.Float64()))
+	s.ctrs.backoff.Add(uint64(d))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	next := cur * 2
+	if next > s.cfg.BackoffMax {
+		next = s.cfg.BackoffMax
+	}
+	return next
+}
+
+// helloFrame encodes a hello with the current per-channel receive counts.
+func (s *Supervisor) helloFrame() []byte {
+	seqs := make([]chanSeq, len(s.chans))
+	for i, cs := range s.chans {
+		cs.mu.Lock()
+		seqs[i] = chanSeq{id: cs.id, seq: cs.recvSeq}
+		cs.mu.Unlock()
+	}
+	return appendHelloFrame(nil, seqs)
+}
+
+// ackSeqs snapshots the receive counts for an ack frame.
+func (s *Supervisor) ackSeqs() []chanSeq {
+	seqs := make([]chanSeq, len(s.chans))
+	for i, cs := range s.chans {
+		cs.mu.Lock()
+		seqs[i] = chanSeq{id: cs.id, seq: cs.recvSeq}
+		cs.mu.Unlock()
+	}
+	return seqs
+}
+
+// session runs one connection: hello handshake, then concurrent read and
+// write pumps until completion or failure. helloOK reports whether the
+// handshake finished (used to reset the consecutive-failure budget).
+func (s *Supervisor) session(ctx context.Context, conn net.Conn) (helloOK bool, err error) {
+	s.running.Store(true)
+	defer s.running.Store(false)
+	defer conn.Close()
+
+	// Unblock both pumps if the context dies mid-session.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-sessionDone:
+		}
+	}()
+
+	cw := countWriter{w: conn, n: &s.ctrs.bytesTx}
+	cr := countReader{r: conn, n: &s.ctrs.bytesRx}
+	br := bufio.NewReader(cr)
+
+	// Handshake: both sides write their hello, then read the peer's.
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if _, err := cw.Write(s.helloFrame()); err != nil {
+		return false, mapEOF(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	f, err := readFrame(br)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			s.ctrs.corrupt.Add(1)
+		}
+		return false, mapEOF(err)
+	}
+	switch f.kind {
+	case kindReject:
+		return false, ErrRejected
+	case kindHello:
+	default:
+		return false, fmt.Errorf("%w: expected hello, got frame kind %d", ErrHandshake, f.kind)
+	}
+	seqs, err := parseHello(f.payload)
+	if err != nil {
+		if errors.Is(err, ErrHandshake) {
+			s.fail(err)
+		}
+		return false, err
+	}
+	if len(seqs) != len(s.chans) {
+		err := fmt.Errorf("%w: peer has %d channels, we have %d", ErrHandshake, len(seqs), len(s.chans))
+		s.fail(err)
+		return false, err
+	}
+	cursors := make([]uint64, len(s.chans))
+	for i, cs := range s.chans {
+		if seqs[i].id != cs.id {
+			err := fmt.Errorf("%w: peer channel id %d, want %d", ErrHandshake, seqs[i].id, cs.id)
+			s.fail(err)
+			return false, err
+		}
+		if err := cs.resync(seqs[i].seq); err != nil {
+			s.fail(err)
+			return false, err
+		}
+		cursors[i] = seqs[i].seq
+	}
+	helloOK = true
+
+	// Pumps: the writer owns all socket writes (frames, acks, heartbeats,
+	// bye); the reader dispatches inbound frames and requests eager acks.
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		werr := s.writeLoop(conn, cw, cursors, stop)
+		if werr != nil {
+			conn.Close() // unblock the reader promptly
+		}
+		writerErr <- werr
+	}()
+	rerr := s.readLoop(conn, br)
+	close(stop)
+	werr := <-writerErr
+	if rerr == nil {
+		return true, nil
+	}
+	if werr != nil && !errors.Is(rerr, ErrClosed) {
+		return true, rerr
+	}
+	if werr != nil {
+		return true, werr
+	}
+	return true, rerr
+}
+
+// writeLoop drains retransmit buffers onto the socket, piggybacks acks,
+// emits idle heartbeats, and announces completion with a bye frame. It
+// exits when stop closes (after a final best-effort ack+bye flush) or on a
+// write error.
+func (s *Supervisor) writeLoop(conn net.Conn, cw countWriter, cursors []uint64, stop <-chan struct{}) error {
+	bw := bufio.NewWriter(cw)
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
+	byeSent := false
+	lastActivity := time.Now()
+
+	flush := func(heartbeat bool) error {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		wrote := false
+		for i, cs := range s.chans {
+			for {
+				frames, err := cs.framesFrom(cursors[i], 64)
+				if err != nil {
+					s.fail(err)
+					return err
+				}
+				if len(frames) == 0 {
+					break
+				}
+				for _, fb := range frames {
+					if _, err := bw.Write(fb); err != nil {
+						return err
+					}
+					cursors[i]++
+					s.ctrs.framesTx.Add(1)
+					cs.mu.Lock()
+					if cursors[i] <= cs.maxFlushed {
+						s.ctrs.retransmits.Add(1)
+					} else {
+						cs.maxFlushed = cursors[i]
+					}
+					cs.mu.Unlock()
+					wrote = true
+				}
+			}
+		}
+		sendAck := s.ackDirty.Swap(false) || s.unacked.Load() >= ackEvery
+		if heartbeat && !wrote && time.Since(lastActivity) >= s.cfg.Heartbeat {
+			if _, err := bw.Write(controlFrame(kindHeartbeat)); err != nil {
+				return err
+			}
+			s.ctrs.heartbeatsTx.Add(1)
+			sendAck = true
+			wrote = true
+		}
+		fin := s.finished()
+		if fin && !byeSent {
+			sendAck = true
+		}
+		if sendAck {
+			s.unacked.Store(0)
+			if _, err := bw.Write(appendAckFrame(nil, s.ackSeqs())); err != nil {
+				return err
+			}
+			s.ctrs.acksTx.Add(1)
+			wrote = true
+		}
+		if fin && !byeSent {
+			if _, err := bw.Write(controlFrame(kindBye)); err != nil {
+				return err
+			}
+			byeSent = true
+			wrote = true
+		}
+		if wrote {
+			lastActivity = time.Now()
+		}
+		return bw.Flush()
+	}
+
+	for {
+		if err := flush(false); err != nil {
+			return err
+		}
+		select {
+		case <-stop:
+			flush(false) // best effort: final frames + ack + bye
+			return nil
+		case <-hb.C:
+			if err := flush(true); err != nil {
+				return err
+			}
+		case <-s.kick:
+		}
+	}
+}
+
+// ackEvery is how many applied frames the reader tolerates before
+// requesting an eager ack (bounding the peer's retransmit buffer even
+// between heartbeats).
+const ackEvery = 512
+
+// readLoop dispatches inbound frames until the session ends. It returns
+// nil exactly when the transport is complete from this side's point of
+// view: everything sent and acknowledged in both directions — plus, on the
+// server, the client's bye (the client exits first; the server lingers).
+func (s *Supervisor) readLoop(conn net.Conn, br *bufio.Reader) error {
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				s.ctrs.corrupt.Add(1)
+			}
+			if s.finished() && s.byeSeen.Load() {
+				return nil
+			}
+			return mapEOF(err)
+		}
+		s.ctrs.framesRx.Add(1)
+		switch f.kind {
+		case kindHeartbeat:
+			s.ctrs.heartbeatsRx.Add(1)
+		case kindBye:
+			s.byeSeen.Store(true)
+			if s.finished() {
+				s.kickWriter() // answer with our own ack+bye before teardown
+				return nil
+			}
+		case kindAck:
+			seqs, err := parseAck(f.payload)
+			if err != nil {
+				s.ctrs.corrupt.Add(1)
+				return err
+			}
+			s.ctrs.acksRx.Add(1)
+			for _, q := range seqs {
+				cs, ok := s.byID[q.id]
+				if !ok {
+					return fmt.Errorf("%w: ack for unknown channel %d", ErrCorrupt, q.id)
+				}
+				if err := cs.ack(q.seq); err != nil {
+					s.fail(err)
+					return err
+				}
+			}
+			if s.finished() {
+				// Completion: wake the writer so the bye goes out; the
+				// client can now leave, the server waits for the bye.
+				s.kickWriter()
+				if s.byeSeen.Load() {
+					return nil
+				}
+			}
+		case kindSync, kindData, kindEOS:
+			cs, ok := s.byID[f.ch]
+			if !ok {
+				return fmt.Errorf("%w: frame for unknown channel %d", ErrCorrupt, f.ch)
+			}
+			if err := s.apply(cs, f); err != nil {
+				return err
+			}
+		case kindHello:
+			return fmt.Errorf("%w: unexpected mid-session hello", ErrCorrupt)
+		case kindReject:
+			return ErrRejected
+		}
+	}
+}
+
+// apply injects one inbound channel frame into the local endpoint and
+// advances the receive sequence. Frames after EOS are protocol violations
+// (the resync discipline guarantees the peer never replays past our
+// advertised receive count).
+func (s *Supervisor) apply(cs *chanState, f frame) error {
+	cs.mu.Lock()
+	if cs.peerDone {
+		cs.mu.Unlock()
+		return fmt.Errorf("%w: frame after EOS on channel %d", ErrCorrupt, cs.id)
+	}
+	cs.recvSeq++
+	if f.kind == kindEOS {
+		cs.peerDone = true
+	}
+	cs.mu.Unlock()
+	switch f.kind {
+	case kindEOS:
+		cs.remote.CloseToLocal()
+		s.ackDirty.Store(true)
+		s.kickWriter()
+	case kindSync:
+		cs.remote.Inject(link.Message{T: f.t, Kind: link.KindSync})
+		s.unacked.Add(1)
+	case kindData:
+		payload, err := cs.codec.Decode(f.payload)
+		if err != nil {
+			return err
+		}
+		cs.remote.Inject(link.Message{T: f.t, Kind: link.KindData, Sub: f.sub, Payload: payload})
+		s.unacked.Add(1)
+	}
+	if s.unacked.Load() >= ackEvery {
+		s.kickWriter()
+	}
+	return nil
+}

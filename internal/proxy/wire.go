@@ -1,0 +1,257 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Wire protocol v2. Every frame is
+//
+//	u32  length of the remainder (header + payload)
+//	u8   kind
+//	u16  channel id (mux; one TCP connection carries many spliced channels)
+//	u64  virtual timestamp (ps; 0 for control frames)
+//	u16  sub-channel (trunk demux; 0 for sync and control frames)
+//	u32  CRC32-C over the header fields above and the payload
+//	payload bytes
+//
+// Data and sync frames are sequenced implicitly: the k-th message frame on
+// a channel has sequence number k, because both TCP and the channel pipes
+// are FIFO. hello and ack frames carry explicit per-channel receive
+// counts, which is what makes resync-after-reconnect exact. Heartbeats are
+// pure wall-clock liveness traffic and never touch virtual time.
+const (
+	kindSync      byte = 0 // advances the peer's horizon, no payload
+	kindData      byte = 1 // codec-encoded channel payload
+	kindEOS       byte = 2 // clean end of one channel's stream
+	kindHeartbeat byte = 3 // wall-clock idle liveness, no payload
+	kindHello     byte = 4 // session handshake: version + per-channel recvSeq
+	kindAck       byte = 5 // per-channel receive counts (prunes retransmit buffers)
+	kindReject    byte = 6 // peer refuses the connection (already serving)
+	kindBye       byte = 7 // sender is finished and confirms full receipt
+)
+
+const headerLen = 1 + 2 + 8 + 2 + 4 // kind + channel + timestamp + sub + crc
+
+// crcOffset is where the checksum sits inside the remainder.
+const crcOffset = 1 + 2 + 8 + 2
+
+// maxFrame bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 16 << 20
+
+const (
+	helloMagic   = 0x53535058 // "SSPX"
+	protoVersion = 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed transport errors. Callers can errors.Is against these to
+// distinguish failure modes; everything else is an ordinary I/O error.
+var (
+	// ErrClosed reports a dirty disconnect: the connection ended
+	// mid-stream, before every channel delivered its kindEOS.
+	ErrClosed = errors.New("proxy: connection closed mid-stream")
+	// ErrCorrupt reports a frame that failed validation (bad length,
+	// checksum mismatch, unknown kind, or trailing garbage).
+	ErrCorrupt = errors.New("proxy: corrupt frame")
+	// ErrRejected reports that the peer refused the connection because it
+	// is already serving another one.
+	ErrRejected = errors.New("proxy: connection rejected by peer")
+	// ErrHandshake reports an unrecoverable hello exchange failure
+	// (protocol version or channel set mismatch, resync out of range).
+	ErrHandshake = errors.New("proxy: handshake failed")
+	// ErrGaveUp reports that the supervisor exhausted its reconnect
+	// attempts.
+	ErrGaveUp = errors.New("proxy: gave up reconnecting")
+)
+
+// frame is one decoded wire unit.
+type frame struct {
+	kind    byte
+	ch      uint16
+	t       sim.Time
+	sub     uint16
+	payload []byte
+}
+
+// appendWireFrame encodes f (length prefix included) onto dst.
+func appendWireFrame(dst []byte, f frame) []byte {
+	n := headerLen + len(f.payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	base := len(dst)
+	dst = append(dst, f.kind)
+	dst = binary.BigEndian.AppendUint16(dst, f.ch)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.t))
+	dst = binary.BigEndian.AppendUint16(dst, f.sub)
+	crc := crc32.Checksum(dst[base:base+crcOffset], crcTable)
+	crc = crc32.Update(crc, crcTable, f.payload)
+	dst = binary.BigEndian.AppendUint32(dst, crc)
+	return append(dst, f.payload...)
+}
+
+// parseFrame decodes the remainder of a frame (everything after the u32
+// length prefix). The returned payload aliases b. Every validation failure
+// wraps ErrCorrupt: a checksum mismatch, an unknown kind, or a control
+// frame carrying bytes it must not (the historical bug was accepting
+// sync/EOS frames with trailing garbage, letting framing desync go
+// unnoticed until a later frame exploded deep in the endpoint).
+func parseFrame(b []byte) (frame, error) {
+	var f frame
+	if len(b) < headerLen {
+		return f, fmt.Errorf("%w: %d bytes, need at least %d", ErrCorrupt, len(b), headerLen)
+	}
+	f.kind = b[0]
+	f.ch = binary.BigEndian.Uint16(b[1:])
+	f.t = sim.Time(binary.BigEndian.Uint64(b[3:]))
+	f.sub = binary.BigEndian.Uint16(b[11:])
+	want := binary.BigEndian.Uint32(b[crcOffset:])
+	got := crc32.Checksum(b[:crcOffset], crcTable)
+	got = crc32.Update(got, crcTable, b[headerLen:])
+	if got != want {
+		return f, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	f.payload = b[headerLen:]
+	switch f.kind {
+	case kindData:
+		// any payload
+	case kindSync, kindEOS:
+		if len(f.payload) != 0 {
+			return f, fmt.Errorf("%w: kind %d with %d trailing bytes", ErrCorrupt, f.kind, len(f.payload))
+		}
+		if f.sub != 0 {
+			return f, fmt.Errorf("%w: kind %d with sub-channel %d", ErrCorrupt, f.kind, f.sub)
+		}
+	case kindHeartbeat, kindReject, kindBye:
+		if len(f.payload) != 0 || f.sub != 0 || f.t != 0 {
+			return f, fmt.Errorf("%w: control kind %d with non-empty header/payload", ErrCorrupt, f.kind)
+		}
+	case kindHello, kindAck:
+		if f.sub != 0 || f.t != 0 {
+			return f, fmt.Errorf("%w: control kind %d with non-empty header", ErrCorrupt, f.kind)
+		}
+	default:
+		return f, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, f.kind)
+	}
+	return f, nil
+}
+
+// readFrame reads one length-prefixed frame from r. The returned payload
+// is freshly allocated. I/O errors come back verbatim (see mapEOF for the
+// dirty-disconnect translation).
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen || n > maxFrame {
+		return frame{}, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	return parseFrame(buf)
+}
+
+// mapEOF translates an end-of-stream I/O error into ErrClosed — the
+// connection died before the protocol said goodbye — leaving every other
+// error (timeouts included) intact.
+func mapEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w (%v)", ErrClosed, err)
+	}
+	return err
+}
+
+// chanSeq pairs a channel id with a receive count, the unit of hello and
+// ack payloads.
+type chanSeq struct {
+	id  uint16
+	seq uint64
+}
+
+// appendHelloFrame builds a complete hello frame: magic, version, and one
+// (id, recvSeq) pair per channel.
+func appendHelloFrame(dst []byte, seqs []chanSeq) []byte {
+	p := make([]byte, 0, 4+1+2+len(seqs)*10)
+	p = binary.BigEndian.AppendUint32(p, helloMagic)
+	p = append(p, protoVersion)
+	p = binary.BigEndian.AppendUint16(p, uint16(len(seqs)))
+	for _, cs := range seqs {
+		p = binary.BigEndian.AppendUint16(p, cs.id)
+		p = binary.BigEndian.AppendUint64(p, cs.seq)
+	}
+	return appendWireFrame(dst, frame{kind: kindHello, payload: p})
+}
+
+// parseHello decodes a hello payload, validating magic, version, and exact
+// length.
+func parseHello(p []byte) ([]chanSeq, error) {
+	if len(p) < 7 {
+		return nil, fmt.Errorf("%w: hello payload %d bytes", ErrCorrupt, len(p))
+	}
+	if binary.BigEndian.Uint32(p) != helloMagic {
+		return nil, fmt.Errorf("%w: bad hello magic", ErrHandshake)
+	}
+	if v := p[4]; v != protoVersion {
+		return nil, fmt.Errorf("%w: peer speaks wire protocol v%d, want v%d", ErrHandshake, v, protoVersion)
+	}
+	n := int(binary.BigEndian.Uint16(p[5:]))
+	if len(p) != 7+n*10 {
+		return nil, fmt.Errorf("%w: hello payload %d bytes for %d channels", ErrCorrupt, len(p), n)
+	}
+	seqs := make([]chanSeq, n)
+	for i := range seqs {
+		off := 7 + i*10
+		seqs[i] = chanSeq{
+			id:  binary.BigEndian.Uint16(p[off:]),
+			seq: binary.BigEndian.Uint64(p[off+2:]),
+		}
+	}
+	return seqs, nil
+}
+
+// appendAckFrame builds a complete ack frame carrying per-channel receive
+// counts.
+func appendAckFrame(dst []byte, seqs []chanSeq) []byte {
+	p := make([]byte, 0, 2+len(seqs)*10)
+	p = binary.BigEndian.AppendUint16(p, uint16(len(seqs)))
+	for _, cs := range seqs {
+		p = binary.BigEndian.AppendUint16(p, cs.id)
+		p = binary.BigEndian.AppendUint64(p, cs.seq)
+	}
+	return appendWireFrame(dst, frame{kind: kindAck, payload: p})
+}
+
+// parseAck decodes an ack payload, validating exact length.
+func parseAck(p []byte) ([]chanSeq, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("%w: ack payload %d bytes", ErrCorrupt, len(p))
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if len(p) != 2+n*10 {
+		return nil, fmt.Errorf("%w: ack payload %d bytes for %d channels", ErrCorrupt, len(p), n)
+	}
+	seqs := make([]chanSeq, n)
+	for i := range seqs {
+		off := 2 + i*10
+		seqs[i] = chanSeq{
+			id:  binary.BigEndian.Uint16(p[off:]),
+			seq: binary.BigEndian.Uint64(p[off+2:]),
+		}
+	}
+	return seqs, nil
+}
+
+// controlFrame encodes a payload-free frame of the given kind.
+func controlFrame(kind byte) []byte {
+	return appendWireFrame(nil, frame{kind: kind})
+}
