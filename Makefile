@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/link/ ./internal/orch/ ./internal/profiler/
+	$(GO) test -race ./internal/...
 
 # Fault-injection suite: supervised transport under connection kills,
 # garbles, and delays, with goroutine-leak accounting — raced.

@@ -3,7 +3,9 @@
 //
 //	splitsim list
 //	splitsim run fig4 [-scale 1.0] [-seed 42]
+//	splitsim run placement [-placement ac]
 //	splitsim run all  [-scale 0.1]
+//	splitsim plan fig8 [-placement auto]
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -46,6 +49,13 @@ func catalog() map[string]runner {
 		"fig10": func(o experiments.Options) (string, error) {
 			return experiments.Fig10(o).String(), nil
 		},
+		"placement": func(o experiments.Options) (string, error) {
+			r, err := experiments.PlacementStudy(o)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		},
 		"scaleout": func(o experiments.Options) (string, error) {
 			r, err := experiments.ScaleOut(o)
 			if err != nil {
@@ -72,18 +82,67 @@ func names() []string {
 	return out
 }
 
+// placementsFor maps each experiment to the -placement values it accepts.
+// Experiments absent from the map reject the flag.
+func placementsFor() map[string][]string {
+	return map[string][]string{
+		"placement": experiments.PlacementNames(),
+		"fig7":      {"s", "percomp", "auto"},
+		"fig8":      {"s", "percomp", "auto"},
+	}
+}
+
+// plannable lists the experiments `splitsim plan` can render.
+func plannable() []string { return []string{"fig7", "fig8", "placement"} }
+
+// checkPlacement validates a -placement value against an experiment.
+func checkPlacement(exp, placement string) error {
+	if placement == "" {
+		return nil
+	}
+	allowed, ok := placementsFor()[exp]
+	if !ok {
+		return fmt.Errorf("experiment %q does not take -placement", exp)
+	}
+	for _, a := range allowed {
+		if a == placement {
+			return nil
+		}
+	}
+	return fmt.Errorf("experiment %q accepts -placement %s, not %q",
+		exp, strings.Join(allowed, "|"), placement)
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   splitsim list                      list available experiments
   splitsim run <name|all> [flags]    run an experiment
+  splitsim plan <name> [flags]       print an experiment's execution plan
 
-flags for run:
-  -scale f   duration/topology scale (default 1.0 = paper scale)
-  -seed n    random seed (default 42)
+flags for run and plan:
+  -scale f       duration/topology scale (default 1.0 = paper scale)
+  -seed n        random seed (default 42)
+  -placement p   execution placement (placement: %s; fig7/fig8: s|percomp|auto)
 
 experiments: %v
-`, names())
+plannable: %v
+`, strings.Join(experiments.PlacementNames(), "|"), names(), plannable())
 	os.Exit(2)
+}
+
+// parseOpts reads the shared run/plan flags from args.
+func parseOpts(cmd string, args []string) experiments.Options {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "duration/topology scale")
+	seed := fs.Uint64("seed", 42, "random seed")
+	placement := fs.String("placement", "", "execution placement")
+	_ = fs.Parse(args)
+	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
@@ -96,36 +155,50 @@ func main() {
 			fmt.Println(n)
 		}
 	case "run":
-		fs := flag.NewFlagSet("run", flag.ExitOnError)
-		scale := fs.Float64("scale", 1.0, "duration/topology scale")
-		seed := fs.Uint64("seed", 42, "random seed")
 		if len(os.Args) < 3 {
 			usage()
 		}
 		name := os.Args[2]
-		_ = fs.Parse(os.Args[3:])
-		opts := experiments.Options{Scale: *scale, Seed: *seed}
+		opts := parseOpts("run", os.Args[3:])
 		cat := catalog()
 		run := func(n string) {
 			r, ok := cat[n]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; try: %v\n", n, names())
-				os.Exit(1)
+				fail("unknown experiment %q; try: %v", n, names())
+			}
+			if err := checkPlacement(n, opts.Placement); err != nil {
+				fail("%v", err)
 			}
 			out, err := r(opts)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
-				os.Exit(1)
+				fail("%s: %v", n, err)
 			}
 			fmt.Println(out)
 		}
 		if name == "all" {
+			if opts.Placement != "" {
+				fail("-placement applies to a single experiment, not all")
+			}
 			for _, n := range names() {
 				run(n)
 			}
 			return
 		}
 		run(name)
+	case "plan":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		name := os.Args[2]
+		opts := parseOpts("plan", os.Args[3:])
+		if err := checkPlacement(name, opts.Placement); err != nil {
+			fail("%v", err)
+		}
+		out, err := experiments.PlanFor(name, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(out)
 	default:
 		usage()
 	}

@@ -153,8 +153,12 @@ func (s *System) Validate() error {
 		switches[sw.Name] = true
 	}
 	hosts := make(map[string]bool, len(s.Hosts))
-	ips := make(map[proto.IP]string)
-	for _, h := range s.Hosts {
+	type ipOwner struct {
+		name string
+		auto bool
+	}
+	ips := make(map[proto.IP]ipOwner)
+	for i, h := range s.Hosts {
 		if h.Name == "" {
 			return fmt.Errorf("config: host with empty name")
 		}
@@ -171,12 +175,23 @@ func (s *System) Validate() error {
 		if h.LinkDelay <= 0 {
 			return fmt.Errorf("config: host %q has non-positive link delay", h.Name)
 		}
-		if h.IP != 0 {
-			if other, dup := ips[h.IP]; dup {
-				return fmt.Errorf("config: hosts %q and %q share IP %v", other, h.Name, h.IP)
-			}
-			ips[h.IP] = h.Name
+		// Check the EFFECTIVE address: an unset IP auto-assigns from the host
+		// index (autoIP), which can collide with an explicitly set one.
+		ip, auto := h.IP, false
+		if ip == 0 {
+			ip, auto = proto.HostIP(uint32(i+1)), true
 		}
+		if other, dup := ips[ip]; dup {
+			tag := func(a bool) string {
+				if a {
+					return " (auto-assigned)"
+				}
+				return ""
+			}
+			return fmt.Errorf("config: hosts %q%s and %q%s share IP %v",
+				other.name, tag(other.auto), h.Name, tag(auto), ip)
+		}
+		ips[ip] = ipOwner{name: h.Name, auto: auto}
 		if h.Cores <= 0 || h.MemoryMB <= 0 || h.ClockGHz <= 0 {
 			return fmt.Errorf("config: host %q has invalid machine attributes", h.Name)
 		}

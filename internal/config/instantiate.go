@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/hostsim"
 	"repro/internal/instantiate"
 	"repro/internal/netsim"
@@ -49,6 +50,8 @@ type Instance struct {
 	Detailed map[string]*instantiate.DetailedHost
 	// Built exposes the underlying topology build.
 	Built *netsim.Built
+
+	hostSlot map[string]int // host name → topology slot, for placement math
 }
 
 // fidelityOf resolves a host's effective fidelity under the choices.
@@ -106,6 +109,7 @@ func (s *System) Instantiate(c Choices) (*Instance, error) {
 		NetHosts: make(map[string]*netsim.Host),
 		Detailed: make(map[string]*instantiate.DetailedHost),
 		Built:    built,
+		hostSlot: hostSlot,
 	}
 	instantiate.WirePartitions(inst.Sim, topo, built, !c.NoTrunk)
 
@@ -175,6 +179,44 @@ func (i *Instance) RunSequential(end sim.Time) *sim.Scheduler {
 // RunCoupled executes the instance with one goroutine per component.
 func (i *Instance) RunCoupled(end sim.Time) error {
 	return i.Sim.RunCoupled(end)
+}
+
+// RunPlaced executes the instance coupled under the given placement.
+func (i *Instance) RunPlaced(end sim.Time, p decomp.Placement) error {
+	return i.Sim.RunPlaced(end, p)
+}
+
+// Plan resolves a placement against the instance's simulation.
+func (i *Instance) Plan(p decomp.Placement) (*orch.ExecutionPlan, error) {
+	return i.Sim.Plan(p)
+}
+
+// PartPlacement turns a per-partition group assignment — e.g. a coarse
+// decomp.Strategy assignment lifted onto the built partitions with
+// decomp.Coarsen — into a placement over ALL of the instance's components:
+// partition i joins group partGroup[i], and each detailed host rides with
+// the partition that owns its external port (host, NIC, and attachment
+// partition co-locate, so the chatty PCI and Ethernet channels degrade to
+// direct ports whenever the partition group allows it). With pairHostNIC
+// false, detailed hosts and NICs instead get fresh per-component groups.
+func (i *Instance) PartPlacement(name string, partGroup []int, pairHostNIC bool) (decomp.Placement, error) {
+	if len(partGroup) != len(i.Parts) {
+		return decomp.Placement{}, fmt.Errorf("config: %d part groups for %d partitions",
+			len(partGroup), len(i.Parts))
+	}
+	groupOf := make(map[core.Component]int, len(i.Parts))
+	for pi, part := range i.Parts {
+		groupOf[part] = partGroup[pi]
+	}
+	if pairHostNIC {
+		for name, dh := range i.Detailed {
+			slot := i.hostSlot[name]
+			g := partGroup[i.Built.HostPart[slot]]
+			groupOf[dh.Host] = g
+			groupOf[dh.NIC] = g
+		}
+	}
+	return decomp.Placement{Name: name, Groups: instantiate.ComponentGroups(i.Sim, groupOf)}, nil
 }
 
 // Cores returns the component count (the paper's core accounting).

@@ -21,6 +21,11 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Placement selects the execution placement for experiments that honor
+	// it (the placement study accepts s/ac/cr2/rs/auto; fig7 and fig8 fold
+	// their model predictions under s/percomp/auto). Empty keeps each
+	// experiment's default.
+	Placement string
 }
 
 // DefaultOptions returns paper-scale settings.

@@ -303,3 +303,91 @@ func TestOptionsDur(t *testing.T) {
 		t.Errorf("Dur default: %v", d)
 	}
 }
+
+func TestPlacementStudy(t *testing.T) {
+	r, err := PlacementStudy(Options{Scale: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(PlacementNames()) {
+		t.Fatalf("points = %d, want %d", len(r.Points), len(PlacementNames()))
+	}
+	for _, p := range r.Points {
+		if !p.Identical {
+			t.Errorf("placement %s not bit-identical to sequential", p.Placement)
+		}
+		if p.PredSPerSimS <= 0 || p.AcctSPerSimS <= 0 {
+			t.Errorf("placement %s has non-positive makespans: pred=%g acct=%g",
+				p.Placement, p.PredSPerSimS, p.AcctSPerSimS)
+		}
+	}
+	// Fully co-located: no synchronization at all.
+	if s := r.Get("s"); s.Groups != 1 || s.SyncMsgs != 0 {
+		t.Errorf("s placement: groups=%d syncmsgs=%d, want 1 group with 0 syncs", s.Groups, s.SyncMsgs)
+	}
+	// Finest placement pays the most synchronization.
+	if rs, s := r.Get("rs"), r.Get("ac"); rs.SyncMsgs <= s.SyncMsgs {
+		t.Errorf("rs syncmsgs %d should exceed ac's %d", rs.SyncMsgs, s.SyncMsgs)
+	}
+	// Co-location trades parallelism for sync: s predicts slower than rs here.
+	if s, rs := r.Get("s"), r.Get("rs"); s.PredSPerSimS <= rs.PredSPerSimS {
+		t.Errorf("s pred %.2f should exceed rs pred %.2f on this busy workload",
+			s.PredSPerSimS, rs.PredSPerSimS)
+	}
+
+	// Single-placement filter.
+	one, err := PlacementStudy(Options{Scale: 0.5, Seed: 42, Placement: "ac"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Points) != 1 || one.Points[0].Placement != "ac" {
+		t.Fatalf("filtered study = %+v", one.Points)
+	}
+	if _, err := PlacementStudy(Options{Scale: 0.5, Seed: 42, Placement: "nope"}); err == nil {
+		t.Fatal("unknown placement not rejected")
+	}
+}
+
+func TestPlanFor(t *testing.T) {
+	for _, tc := range []struct {
+		exp, placement string
+		want           []string
+	}{
+		{"placement", "", []string{"plan \"rs\"", "7 groups", "coupled"}},
+		{"placement", "s", []string{"plan \"s\"", "1 groups", "co-located"}},
+		{"placement", "auto", []string{"plan \"auto\""}},
+		{"fig7", "", []string{"plan \"percomp\""}},
+		{"fig7", "s", []string{"1 groups"}},
+		{"fig8", "", []string{"16 groups"}},
+	} {
+		out, err := PlanFor(tc.exp, Options{Scale: 0.5, Seed: 42, Placement: tc.placement})
+		if err != nil {
+			t.Fatalf("PlanFor(%s, %q): %v", tc.exp, tc.placement, err)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("PlanFor(%s, %q) missing %q:\n%s", tc.exp, tc.placement, w, out)
+			}
+		}
+	}
+	if _, err := PlanFor("fig4", Options{}); err == nil {
+		t.Fatal("PlanFor should reject experiments without plans")
+	}
+	if _, err := PlanFor("fig7", Options{Placement: "cr2"}); err == nil {
+		t.Fatal("PlanFor fig7 should reject study-only placements")
+	}
+}
+
+func TestFigPlacementOption(t *testing.T) {
+	base := Fig7(Options{Scale: 0.2, Seed: 42})
+	coloc := Fig7(Options{Scale: 0.2, Seed: 42, Placement: "s"})
+	// Fully co-located split == sequential: no channels, speedup 1.
+	p := coloc.Get(8)
+	if p.Speedup < 0.99 || p.Speedup > 1.01 {
+		t.Errorf("fig7 co-located speedup = %.2f, want ~1", p.Speedup)
+	}
+	if base.Get(8).Speedup <= p.Speedup {
+		t.Errorf("per-component speedup %.2f should beat co-located %.2f",
+			base.Get(8).Speedup, p.Speedup)
+	}
+}

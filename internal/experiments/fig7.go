@@ -90,6 +90,7 @@ func fig7Run(n int, opts Options) Fig7Point {
 	}
 	comps, links := s.ModelGraph(dur)
 	mp := decomp.DefaultParams(dur)
+	comps, links = applyModelPlacement(opts.Placement, comps, links, mp)
 	split := decomp.Makespan(comps, links, mp)
 	pt.SeqSPerSimS = split.SeqNs / 1e9 / dur.Seconds()
 	pt.SplitSPerSimS = split.ParNs / 1e9 / dur.Seconds()

@@ -106,6 +106,7 @@ func fig8Run(flavor string, parts int, opts Options) Fig8Point {
 		}
 	}
 	mp := decomp.DefaultParams(dur)
+	comps, links = applyModelPlacement(opts.Placement, comps, links, mp)
 	native := decomp.NativeBarrier(comps, links, mp)
 	split := decomp.Makespan(comps, links, mp)
 	pt := Fig8Point{

@@ -34,8 +34,13 @@ type connection struct {
 	idA     int32 // ordering source for deliveries to a.Sink
 	idB     int32 // ordering source for deliveries to b.Sink
 
-	// sequential-mode ports, kept for message accounting.
+	// Exactly one wiring is live after a run, and ExecutionPlan.wire clears
+	// the other: direct ports when both ends share a runner group (sequential
+	// mode, or co-located in a placed run), channel endpoints when the ends
+	// are in different groups. Both carry the message counters ModelGraph
+	// reads.
 	portAB, portBA *link.DirectPort
+	epA, epB       *link.Endpoint
 }
 
 // trunkConn is a multiplexed connection: several logical links between the
@@ -50,7 +55,10 @@ type trunkConn struct {
 	idsA    []int32
 	idsB    []int32
 
-	ports []*link.DirectPort // sequential-mode ports for accounting
+	// Live wiring for accounting, mirroring connection: per-pair direct
+	// ports intra-group, one trunked channel's endpoints cross-group.
+	ports    []*link.DirectPort
+	epA, epB *link.Endpoint
 }
 
 // TrunkPair is one logical link inside a trunk connection.
@@ -186,30 +194,21 @@ func (s *Simulation) mustHave(c core.Component, conn string) {
 
 // RunSequential executes the whole simulation on a single scheduler until
 // end (events at exactly end do not run). It returns the scheduler for
-// statistics.
+// statistics. Wiring goes through the one-group execution plan, so it is
+// the same code path every placement uses — with every channel degraded to
+// direct ports.
 func (s *Simulation) RunSequential(end sim.Time) *sim.Scheduler {
 	if len(s.remotes) > 0 {
 		panic("orch: RunSequential on a simulation with remote connections; distributed runs are coupled-only")
 	}
+	pl, err := s.Plan(decomp.SingleGroup(len(s.comps)))
+	if err != nil {
+		panic("orch: " + err.Error())
+	}
 	sched := sim.NewScheduler(0)
+	pl.wire([]*sim.Scheduler{sched}, nil)
 	for _, c := range s.comps {
 		c.Attach(core.Env{Sched: sched, Src: s.srcOf[c]})
-	}
-	for _, c := range s.conns {
-		c.portAB = link.NewDirectPort(sched, c.latency, c.idB, c.b.Sink)
-		c.portBA = link.NewDirectPort(sched, c.latency, c.idA, c.a.Sink)
-		c.a.Bind(c.portAB)
-		c.b.Bind(c.portBA)
-	}
-	for _, t := range s.trunks {
-		t.ports = t.ports[:0]
-		for i, p := range t.pairs {
-			pa := link.NewDirectPort(sched, t.latency, t.idsB[i], p.SinkB)
-			pb := link.NewDirectPort(sched, t.latency, t.idsA[i], p.SinkA)
-			t.ports = append(t.ports, pa, pb)
-			p.BindA(pa)
-			p.BindB(pb)
-		}
 	}
 	for _, c := range s.comps {
 		c.Start(end)
@@ -225,65 +224,22 @@ func (s *Simulation) RunSequential(end sim.Time) *sim.Scheduler {
 }
 
 // RunCoupled executes the simulation with one runner (goroutine +
-// scheduler) per component, synchronized through SplitSim channels. The
-// run is bit-identical to RunSequential. The link.Group is stored on the
-// Simulation for post-run inspection (profiling).
+// scheduler) per component, synchronized through SplitSim channels — the
+// per-component placement. The run is bit-identical to RunSequential. The
+// link.Group is stored on the Simulation for post-run inspection
+// (profiling).
 func (s *Simulation) RunCoupled(end sim.Time) error {
-	runners := make(map[core.Component]*link.Runner, len(s.comps))
-	g := &link.Group{}
-	for i, c := range s.comps {
-		r := link.NewRunner(c.Name(), sim.NewScheduler(int32(1000+i)))
-		runners[c] = r
-		g.Add(r)
-	}
-	for _, c := range s.conns {
-		ch := link.NewChannel(c.name, c.latency, c.syncIv)
-		ra, rb := runners[c.a.Comp], runners[c.b.Comp]
-		ra.Attach(ch.SideA())
-		rb.Attach(ch.SideB())
-		ch.SideA().SetSink(0, c.idA, c.a.Sink)
-		ch.SideB().SetSink(0, c.idB, c.b.Sink)
-		c.a.Bind(ch.SideA())
-		c.b.Bind(ch.SideB())
-	}
-	for _, t := range s.trunks {
-		ch := link.NewChannel(t.name, t.latency, t.syncIv)
-		ra, rb := runners[t.compA], runners[t.compB]
-		ra.Attach(ch.SideA())
-		rb.Attach(ch.SideB())
-		ta, tb := link.NewTrunk(ch.SideA()), link.NewTrunk(ch.SideB())
-		for i, p := range t.pairs {
-			ta.Bind(uint16(i), t.idsA[i], p.SinkA)
-			tb.Bind(uint16(i), t.idsB[i], p.SinkB)
-			p.BindA(ta.Port(uint16(i)))
-			p.BindB(tb.Port(uint16(i)))
-		}
-	}
-	for _, rc := range s.remotes {
-		r := runners[rc.side.Comp]
-		r.Attach(rc.ep)
-		rc.ep.SetSink(0, rc.id, rc.side.Sink)
-		rc.side.Bind(rc.ep)
-	}
-	// Components attach to their runner's scheduler with the same ordering
-	// sources as in sequential mode.
-	//
-	// (channels carry their own counters in coupled mode)
-	for _, c := range s.comps {
-		runners[c].AddComponent(c, s.srcOf[c])
-	}
-	s.Group = g
-	if s.PreRun != nil {
-		s.PreRun(g)
-	}
-	return g.Run(end)
+	return s.RunPlaced(end, decomp.PerComponent(len(s.comps)))
 }
 
-// ModelGraph converts a finished sequential run into the decomposition
-// performance model's inputs: one Comp per component (event costs plus
-// fidelity time tax over duration) and one Link per synchronized channel
-// with its observed data-message count. Trunked connections become a single
-// link with the combined count — exactly the trunk adapter's saving.
+// ModelGraph converts a finished run into the decomposition performance
+// model's inputs: one Comp per component (event costs plus fidelity time
+// tax over duration) and one Link per synchronized channel with its
+// observed data-message count. Trunked connections become a single link
+// with the combined count — exactly the trunk adapter's saving. Message
+// counts come from whichever wiring the last run used: direct ports for
+// co-located channels (sequential mode included), channel endpoints for
+// coupled ones.
 func (s *Simulation) ModelGraph(duration sim.Time) ([]decomp.Comp, []decomp.Link) {
 	idx := make(map[core.Component]int, len(s.comps))
 	comps := make([]decomp.Comp, len(s.comps))
@@ -294,8 +250,11 @@ func (s *Simulation) ModelGraph(duration sim.Time) ([]decomp.Comp, []decomp.Link
 	var links []decomp.Link
 	for _, c := range s.conns {
 		var msgs uint64
-		if c.portAB != nil {
+		switch {
+		case c.portAB != nil:
 			msgs = c.portAB.Stats.TxData + c.portBA.Stats.TxData
+		case c.epA != nil:
+			msgs = c.epA.Stats.TxData + c.epB.Stats.TxData
 		}
 		q := c.syncIv
 		if q <= 0 {
@@ -307,6 +266,9 @@ func (s *Simulation) ModelGraph(duration sim.Time) ([]decomp.Comp, []decomp.Link
 		var msgs uint64
 		for _, p := range t.ports {
 			msgs += p.Stats.TxData
+		}
+		if t.epA != nil {
+			msgs += t.epA.Stats.TxData + t.epB.Stats.TxData
 		}
 		q := t.syncIv
 		if q <= 0 {

@@ -1,9 +1,9 @@
 #!/bin/sh
-# Regenerate the repository's benchmark-baseline files. Runs the link and
-# scheduler microbenchmark suites and appends one revision entry to
-# BENCH_link.json / BENCH_sched.json via cmd/benchjson. Every perf-relevant
-# PR should run this and commit the updated files so the repository carries
-# its own perf trajectory.
+# Regenerate the repository's benchmark-baseline files. Runs the link,
+# scheduler, and placement microbenchmark suites and appends one revision
+# entry to BENCH_link.json / BENCH_sched.json / BENCH_placement.json via
+# cmd/benchjson. Every perf-relevant PR should run this and commit the
+# updated files so the repository carries its own perf trajectory.
 #
 # Usage: scripts/bench.sh [rev-label]
 # The label defaults to the current git short hash.
@@ -23,3 +23,8 @@ echo "== scheduler benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkTimerChurn|BenchmarkQueueChurn|BenchmarkSchedulerMixed' \
     -benchtime "$TIME" -count "$COUNT" ./internal/sim/ |
     go run ./cmd/benchjson -suite sched -out BENCH_sched.json -rev "$REV"
+
+echo "== placement benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkPlacement' \
+    -benchtime "$TIME" -count "$COUNT" ./internal/orch/ |
+    go run ./cmd/benchjson -suite placement -out BENCH_placement.json -rev "$REV"

@@ -179,6 +179,36 @@ type (
 	ModelParams = decomp.Params
 )
 
+// Placement-aware execution: one build pipeline for sequential, coupled,
+// and distributed runs, with co-location as a first-class knob.
+type (
+	// Placement maps component index -> runner group; any placement runs
+	// bit-identically to the sequential execution.
+	Placement = decomp.Placement
+	// ExecutionPlan is the explicit wiring a Simulation derives from a
+	// Placement: components, channels (direct/coupled/remote), groups.
+	ExecutionPlan = orch.ExecutionPlan
+	// RecommendOptions tunes the profiler-driven placement recommender.
+	RecommendOptions = decomp.RecommendOptions
+)
+
+// Placement constructors and the profiler→placement feedback loop.
+var (
+	// SingleGroup co-locates every component on one scheduler.
+	SingleGroup = decomp.SingleGroup
+	// PerComponent gives every component its own runner.
+	PerComponent = decomp.PerComponent
+	// RecommendPlacement greedily splits the bottleneck group and merges
+	// idle neighbors based on a profiler Analysis.
+	RecommendPlacement = decomp.RecommendPlacement
+	// AutoPlace iterates RecommendPlacement over the decomposition model
+	// until a fixed point.
+	AutoPlace = decomp.AutoPlace
+	// DefaultModelParams returns the calibrated decomposition model
+	// parameters for a run of the given duration.
+	DefaultModelParams = decomp.DefaultParams
+)
+
 // Profiling.
 type (
 	// Collector samples adapter counters during coupled runs.
@@ -216,16 +246,17 @@ type (
 
 // Experiment entry points regenerate the paper's tables and figures.
 var (
-	Fig4         = experiments.Fig4
-	Fig5         = experiments.Fig5
-	Fig6         = experiments.Fig6
-	Fig7         = experiments.Fig7
-	Fig8         = experiments.Fig8
-	Fig9         = experiments.Fig9
-	Fig10        = experiments.Fig10
-	ClockSyncCS  = experiments.ClockSync
-	Table1       = experiments.Table1
-	ConfigEffort = experiments.ConfigEffort
+	Fig4           = experiments.Fig4
+	Fig5           = experiments.Fig5
+	Fig6           = experiments.Fig6
+	Fig7           = experiments.Fig7
+	Fig8           = experiments.Fig8
+	Fig9           = experiments.Fig9
+	Fig10          = experiments.Fig10
+	ClockSyncCS    = experiments.ClockSync
+	Table1         = experiments.Table1
+	ConfigEffort   = experiments.ConfigEffort
+	PlacementStudy = experiments.PlacementStudy
 )
 
 // IP is an IPv4 address in host integer form.

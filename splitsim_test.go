@@ -101,3 +101,56 @@ func TestFidelityStrings(t *testing.T) {
 		t.Fatal("fidelity strings")
 	}
 }
+
+// TestPublicAPIPlacement runs one system under three placements through the
+// facade and checks the plan/placement surface holds together.
+func TestPublicAPIPlacement(t *testing.T) {
+	build := func() (*splitsim.Simulation, *netsim.Built) {
+		topo, _ := netsim.Dumbbell(netsim.DumbbellSpec{
+			HostsPerSide: 2, EdgeRate: 10 * splitsim.Gbps,
+			BottleneckRate: splitsim.Gbps,
+			EdgeDelay:      splitsim.Microsecond, BottleneckDelay: 10 * splitsim.Microsecond,
+		})
+		b := topo.Build("net", 3, []int{0, 1}, nil)
+		s := splitsim.NewSimulation()
+		splitsim.WirePartitions(s, topo, b, false)
+		got := 0
+		b.Hosts[2].BindUDP(9, func(splitsim.IP, uint16, []byte, int) { got++ })
+		b.Hosts[0].BindUDP(9, func(splitsim.IP, uint16, []byte, int) {})
+		dst := b.Hosts[2].IP()
+		b.Hosts[0].SetApp(netsim.AppFunc(func(h *netsim.Host) {
+			h.SendUDP(dst, 9, 9, []byte("x"), 0)
+		}))
+		return s, b
+	}
+
+	s, _ := build()
+	pl, err := s.Plan(splitsim.SingleGroup(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumGroups() != 1 || !strings.Contains(pl.String(), "1 groups") {
+		t.Fatalf("co-located plan wrong:\n%s", pl.String())
+	}
+	s.RunSequential(splitsim.Millisecond)
+	seqComps, seqLinks := s.ModelGraph(splitsim.Millisecond)
+
+	s2, _ := build()
+	s2.RunPlaced(splitsim.Millisecond, splitsim.PerComponent(2))
+	pcComps, _ := s2.ModelGraph(splitsim.Millisecond)
+	if len(pcComps) != len(seqComps) {
+		t.Fatalf("model graphs diverge: %d vs %d comps", len(pcComps), len(seqComps))
+	}
+	for i := range pcComps {
+		if pcComps[i].BusyNs != seqComps[i].BusyNs {
+			t.Fatalf("busy[%d] %v != %v", i, pcComps[i].BusyNs, seqComps[i].BusyNs)
+		}
+	}
+
+	// The feedback loop terminates and yields a valid placement.
+	auto := splitsim.AutoPlace(seqComps, seqLinks,
+		splitsim.DefaultModelParams(splitsim.Millisecond), splitsim.RecommendOptions{})
+	if n := auto.NumGroups(); n < 1 || n > 2 {
+		t.Fatalf("auto placement groups = %d", n)
+	}
+}
