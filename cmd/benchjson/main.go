@@ -1,13 +1,19 @@
 // Command benchjson converts `go test -bench` output into the repository's
-// benchmark-baseline files (BENCH_link.json, BENCH_sched.json). It reads
-// benchmark lines on stdin, averages repeated -count runs per benchmark,
-// and appends (or replaces) one revision entry in the output file, so the
-// committed JSON accumulates a perf trajectory across PRs:
+// benchmark-baseline files (BENCH_link.json, BENCH_sched.json, ...). It
+// reads benchmark lines on stdin, averages repeated -count runs per
+// benchmark, and appends (or replaces) one revision entry in the output
+// file, so the committed JSON accumulates a perf trajectory across PRs:
 //
 //	go test -run '^$' -bench . -count 3 ./internal/link/ |
 //	    go run ./cmd/benchjson -suite link -rev PR1 -out BENCH_link.json
 //
-// scripts/bench.sh wraps both suites.
+// After writing, it diffs the new entry against the latest entry recorded
+// for any other revision and prints a per-benchmark regression report,
+// flagging ns/op slowdowns beyond -regress-pct (default 20%). With
+// -fail-on-regress the process exits non-zero on a flagged regression; CI
+// runs it that way as a non-blocking advisory step.
+//
+// scripts/bench.sh wraps all suites.
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +60,8 @@ func main() {
 	suite := flag.String("suite", "", "suite name recorded in the file (e.g. link, sched)")
 	out := flag.String("out", "", "output JSON file to create or append to")
 	rev := flag.String("rev", "", "revision label for this entry (e.g. PR1, a git hash)")
+	regressPct := flag.Float64("regress-pct", 20, "ns/op slowdown (in percent) vs the previous entry flagged as a regression")
+	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when a benchmark regresses past -regress-pct")
 	flag.Parse()
 	if *suite == "" || *out == "" || *rev == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchjson -suite NAME -out FILE.json -rev LABEL < bench-output")
@@ -127,6 +137,16 @@ func main() {
 	}
 	f.Suite = *suite
 	f.Unit = "ns/op"
+	// The newest entry with a different rev label is the comparison
+	// baseline: diff before mutating history so re-running under the same
+	// rev keeps comparing against the true predecessor.
+	var prev *Entry
+	for i := len(f.History) - 1; i >= 0; i-- {
+		if f.History[i].Rev != *rev {
+			prev = &f.History[i]
+			break
+		}
+	}
 	// Replace an existing entry with the same rev, else append.
 	replaced := false
 	for i := range f.History {
@@ -139,6 +159,7 @@ func main() {
 	if !replaced {
 		f.History = append(f.History, entry)
 	}
+	regressions := report(os.Stderr, *suite, prev, entry, *regressPct)
 
 	// encoding/json sorts map keys, so entries diff stably across runs.
 	buf, err := json.MarshalIndent(&f, "", "  ")
@@ -153,6 +174,54 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (rev %s)\n",
 		len(entry.Results), *out, *rev)
+	if regressions > 0 && *failOnRegress {
+		os.Exit(3)
+	}
+}
+
+// report diffs entry against prev (the latest committed entry for another
+// revision) and prints one line per benchmark with the ns/op delta,
+// flagging slowdowns beyond regressPct. It returns the number of flagged
+// regressions. Benchmarks present on only one side are reported but never
+// flagged: added or removed benchmarks are not slowdowns.
+func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float64) int {
+	if prev == nil {
+		fmt.Fprintf(w, "benchjson: %s: no previous entry to diff against\n", suite)
+		return 0
+	}
+	names := make([]string, 0, len(cur.Results))
+	for name := range cur.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "benchjson: %s: diff vs rev %s (%s)\n", suite, prev.Rev, prev.Date)
+	regressions := 0
+	for _, name := range names {
+		c := cur.Results[name]
+		p, ok := prev.Results[name]
+		if !ok || p.NsOp == 0 {
+			fmt.Fprintf(w, "  %-40s %10.2f ns/op  (new benchmark)\n", name, c.NsOp)
+			continue
+		}
+		pct := (c.NsOp - p.NsOp) / p.NsOp * 100
+		flag := ""
+		if pct > regressPct {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-40s %10.2f -> %10.2f ns/op  %+6.1f%%%s\n",
+			name, p.NsOp, c.NsOp, pct, flag)
+	}
+	for name := range prev.Results {
+		if _, ok := cur.Results[name]; !ok {
+			fmt.Fprintf(w, "  %-40s (removed)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %s: %d benchmark(s) regressed more than %.0f%% ns/op\n",
+			suite, regressions, regressPct)
+	}
+	return regressions
 }
 
 func round2(v float64) float64 {

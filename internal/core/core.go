@@ -49,9 +49,12 @@ func (f Fidelity) String() string {
 // simulators. Size is the message's size in bytes on the wire (or bus); the
 // link layer uses it only for accounting, never for pacing — pacing is the
 // sending component's job.
-type Message interface {
-	Size() int
-}
+//
+// Message is an alias of sim.Payload so the scheduler can store a delivery
+// (sink + payload) by value in an event-queue slot instead of a heap-
+// allocated closure; the two names describe the same interface at different
+// layers.
+type Message = sim.Payload
 
 // Port is one direction of a channel as seen by the sending component. Send
 // stamps the payload with the sender's current virtual time; the peer
@@ -62,10 +65,10 @@ type Port interface {
 }
 
 // Sink receives messages from a peer's Port. Deliver runs at virtual time
-// at = sendTime + latency on the receiving component's scheduler.
-type Sink interface {
-	Deliver(at sim.Time, payload Message)
-}
+// at = sendTime + latency on the receiving component's scheduler. Like
+// Message, Sink is an alias of the kernel-level sim.Sink so sinks plug
+// straight into typed delivery events (sim.Scheduler.PostDelivery).
+type Sink = sim.Sink
 
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(at sim.Time, payload Message)

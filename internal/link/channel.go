@@ -63,10 +63,6 @@ type Endpoint struct {
 	lastRecvT sim.Time // peer clock as of the last received message (-1: none)
 	peerDone  bool
 
-	// scratch is the drained-and-cleared batch slice handed back to the
-	// incoming pipe as its next swap buffer (see pipe.tryRecvAll).
-	scratch []Message
-
 	Stats Counters
 }
 
@@ -95,13 +91,18 @@ func (e *Endpoint) Latency() sim.Time { return e.ch.Latency }
 // current virtual time. It implements core.Port.
 func (e *Endpoint) Send(payload core.Message) { e.SendSub(0, payload) }
 
-// SendSub transmits payload on the given sub-channel.
+// SendSub transmits payload on the given sub-channel. The message is staged
+// in the outgoing ring but not yet published: the owning runner publishes
+// every staged message at once (one atomic store + at most one consumer
+// wakeup per scheduler pass) from sendSyncs, finish, and before blocking —
+// see Runner.flushAll. FIFO order and monotone timestamps are preserved
+// because staging keeps the producer's program order.
 func (e *Endpoint) SendSub(sub uint16, payload core.Message) {
 	if e.runner == nil {
 		panic("link: endpoint " + e.label + " not attached to a runner")
 	}
 	now := e.runner.sched.Now()
-	e.out.send(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
+	e.out.push(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
 	if e.lastSentT != now {
 		e.lastSentT = now
 		e.runner.syncCapOK = false
@@ -145,13 +146,14 @@ func (e *Endpoint) horizon() sim.Time {
 	return e.lastRecvT + e.ch.Latency
 }
 
-// sendSync emits a pure synchronization message stamped now, unless a
-// message with that timestamp (or later) was already sent.
+// sendSync stages a pure synchronization message stamped now, unless a
+// message with that timestamp (or later) was already sent. Like data sends
+// it is published by the runner's next flush.
 func (e *Endpoint) sendSync(now sim.Time) {
 	if now <= e.lastSentT {
 		return
 	}
-	e.out.send(Message{T: now, Kind: KindSync})
+	e.out.push(Message{T: now, Kind: KindSync})
 	e.lastSentT = now
 	if e.runner != nil {
 		e.runner.syncCapOK = false
@@ -159,7 +161,8 @@ func (e *Endpoint) sendSync(now sim.Time) {
 	e.Stats.TxSync++
 }
 
-// finish sends a final sync at end and closes the outgoing direction.
+// finish sends a final sync at end and closes the outgoing direction
+// (close publishes anything still staged before marking the end of stream).
 func (e *Endpoint) finish(end sim.Time) {
 	e.sendSync(end)
 	e.out.close()
@@ -185,9 +188,8 @@ func (e *Endpoint) handle(m Message) {
 		panic(fmt.Sprintf("link: %s has no sink for sub-channel %d", e.label, m.Sub))
 	}
 	at := m.T + e.ch.Latency
-	src := e.srcFor[m.Sub]
-	payload := m.Payload
-	// Deliveries are never cancelled, so the Timer-free PostSrc avoids one
-	// allocation per received data message.
-	e.runner.sched.PostSrc(at, src, func() { sink.Deliver(at, payload) })
+	// Deliveries are never cancelled and carry exactly (sink, payload), so
+	// they go in as typed delivery events: no Timer, no capturing closure —
+	// the coupled receive path allocates nothing per data message.
+	e.runner.sched.PostDelivery(at, e.srcFor[m.Sub], sink, m.Payload)
 }

@@ -36,7 +36,9 @@ func (p *DirectPort) Latency() sim.Time { return p.lat }
 func (p *DirectPort) Send(payload core.Message) {
 	at := p.sched.Now() + p.lat
 	p.Stats.TxData++
-	p.sched.PostSrc(at, p.src, func() { p.sink.Deliver(at, payload) })
+	// Typed delivery event: the (sink, payload) pair lives in the queue
+	// slot, so sequential-mode message delivery allocates nothing.
+	p.sched.PostDelivery(at, p.src, p.sink, payload)
 }
 
 // Trunk is the paper's trunk adapter: it multiplexes several upper-layer

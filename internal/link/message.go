@@ -37,21 +37,25 @@ type Message struct {
 // Counters is the lightweight profiler instrumentation embedded in every
 // adapter, mirroring the paper's three per-adapter counters: cycles blocked
 // waiting for synchronization, messages sent, and messages processed.
-// WaitNanos and ProcNanos are wall-clock nanoseconds; the remaining fields
-// are message counts.
+// WaitNanos and ProcNanos are wall-clock nanoseconds; PeakDepth is the
+// deepest incoming-queue backlog ever observed at publication time; the
+// remaining fields are message counts.
 type Counters struct {
 	WaitNanos uint64 // blocked waiting for the peer's sync/data
 	ProcNanos uint64 // spent handling incoming messages
+	PeakDepth uint64 // max incoming queue depth seen (messages)
 	TxData    uint64
 	TxSync    uint64
 	RxData    uint64
 	RxSync    uint64
 }
 
-// Add accumulates o into c.
+// Add accumulates o into c. PeakDepth sums like the rest: a runner's total
+// reads as the aggregate backlog capacity its endpoints ever needed.
 func (c *Counters) Add(o Counters) {
 	c.WaitNanos += o.WaitNanos
 	c.ProcNanos += o.ProcNanos
+	c.PeakDepth += o.PeakDepth
 	c.TxData += o.TxData
 	c.TxSync += o.TxSync
 	c.RxData += o.RxData

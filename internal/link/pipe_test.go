@@ -7,9 +7,10 @@ import (
 )
 
 // TestPipeBoundedUnderProducerLead holds the queue at a constant depth while
-// streaming many messages through: the consumer never fully drains, which
-// before the compaction fix meant the consumed prefix was never reclaimed
-// and the buffer grew without bound (one slot per message ever sent).
+// streaming many messages through: the consumer never fully drains. The
+// segmented ring must keep recycling consumed segments back to the producer,
+// so the number of segments ever allocated stays O(queue depth), not
+// O(messages sent).
 func TestPipeBoundedUnderProducerLead(t *testing.T) {
 	const depth = 100
 	const total = 200_000
@@ -23,21 +24,79 @@ func TestPipeBoundedUnderProducerLead(t *testing.T) {
 			t.Fatal("queue unexpectedly empty")
 		}
 	}
-	p.mu.Lock()
-	bufLen, head := len(p.buf), p.head
-	p.mu.Unlock()
-	if got := bufLen - head; got != depth {
+	if got := p.len(); got != depth {
 		t.Fatalf("queue depth = %d, want %d", got, depth)
 	}
-	// The buffer must be O(queue depth), not O(messages sent). The
-	// compaction policy allows up to ~2x depth plus the 64-message floor.
-	if bufLen > 4*depth+64 {
-		t.Fatalf("pipe buffer holds %d slots for a queue of depth %d — consumed prefix not reclaimed", bufLen, depth)
+	// A depth-100 queue fits in one segment; with recycling the producer
+	// should never need more than a few segments in flight, no matter how
+	// many messages ever passed through.
+	if allocs := p.chunkAllocs.Load(); allocs > 4 {
+		t.Fatalf("pipe allocated %d segments for a queue of depth %d — consumed segments not recycled", allocs, depth)
+	}
+	if pk := p.peakDepth(); pk < depth || pk > depth+1 {
+		t.Fatalf("peak depth = %d, want ~%d", pk, depth)
 	}
 }
 
-// TestPipeTryRecvAll covers the batched drain path: ordering, buffer
-// handback, and the closed signal.
+// TestPipeChunkBoundary streams enough messages to cross several segment
+// boundaries in every receive mode, covering the producer-side linking and
+// consumer-side advance/recycle paths.
+func TestPipeChunkBoundary(t *testing.T) {
+	const total = 5*chunkSize + 17
+	p := newPipe()
+	for i := 0; i < total; i++ {
+		p.send(Message{T: sim.Time(i), Sub: uint16(i)})
+	}
+	for i := 0; i < total/2; i++ {
+		m, ok, _ := p.tryRecv()
+		if !ok || m.T != sim.Time(i) {
+			t.Fatalf("tryRecv #%d: ok=%v T=%v", i, ok, m.T)
+		}
+	}
+	batch, closed := p.tryRecvAll(nil)
+	if closed || len(batch) != total-total/2 {
+		t.Fatalf("batch len=%d closed=%v, want %d,false", len(batch), closed, total-total/2)
+	}
+	for i, m := range batch {
+		if m.T != sim.Time(total/2+i) {
+			t.Fatalf("batch[%d].T = %v, want %v", i, m.T, sim.Time(total/2+i))
+		}
+	}
+	if p.len() != 0 {
+		t.Fatalf("pipe should be empty, len=%d", p.len())
+	}
+}
+
+// TestPipeStagedNotVisibleUntilFlush pins the batch-publication contract:
+// push stages without publishing, flush makes everything visible at once.
+func TestPipeStagedNotVisibleUntilFlush(t *testing.T) {
+	p := newPipe()
+	for i := 0; i < 5; i++ {
+		p.push(Message{T: sim.Time(i), Kind: KindSync})
+	}
+	if p.len() != 0 {
+		t.Fatalf("staged messages already visible: len=%d", p.len())
+	}
+	if _, ok, _ := p.tryRecv(); ok {
+		t.Fatal("tryRecv saw a staged message before flush")
+	}
+	p.flush()
+	if p.len() != 5 {
+		t.Fatalf("after flush len=%d, want 5", p.len())
+	}
+	batch, _ := p.tryRecvAll(nil)
+	if len(batch) != 5 || batch[0].T != 0 || batch[4].T != 4 {
+		t.Fatalf("batch after flush: %v", batch)
+	}
+	// Flush with nothing staged is a no-op.
+	p.flush()
+	if p.len() != 0 {
+		t.Fatal("empty flush published something")
+	}
+}
+
+// TestPipeTryRecvAll covers the batched drain path: ordering, scratch
+// reuse, and the closed signal.
 func TestPipeTryRecvAll(t *testing.T) {
 	p := newPipe()
 	for i := 0; i < 10; i++ {
@@ -56,7 +115,7 @@ func TestPipeTryRecvAll(t *testing.T) {
 	if b2, c2 := p.tryRecvAll(batch[:0]); len(b2) != 0 || c2 {
 		t.Fatalf("second drain: len=%d closed=%v, want 0,false", len(b2), c2)
 	}
-	// The handed-back slice becomes the pipe's buffer again: sends reuse it.
+	// The handed-back slice is reused as the next batch's backing storage.
 	p.send(Message{T: 99, Kind: KindSync})
 	if m, ok, _ := p.tryRecv(); !ok || m.T != 99 {
 		t.Fatalf("recv after handback: ok=%v T=%v", ok, m.T)
@@ -68,7 +127,7 @@ func TestPipeTryRecvAll(t *testing.T) {
 }
 
 // TestPipeMixedRecvModes interleaves tryRecv with tryRecvAll to cover the
-// partially consumed buffer swap.
+// consumer position bookkeeping shared by both paths.
 func TestPipeMixedRecvModes(t *testing.T) {
 	p := newPipe()
 	for i := 0; i < 8; i++ {
@@ -85,4 +144,36 @@ func TestPipeMixedRecvModes(t *testing.T) {
 	if p.len() != 0 {
 		t.Fatalf("pipe should be empty, len=%d", p.len())
 	}
+	// tryRecv after a batch drain must see fresh publications.
+	p.send(Message{T: 42})
+	if m, ok, _ := p.tryRecv(); !ok || m.T != 42 {
+		t.Fatalf("tryRecv after batch drain: ok=%v T=%v", ok, m.T)
+	}
+}
+
+// TestPipeCloseFlushesStaged verifies close publishes staged messages, so a
+// finishing endpoint's final sync is never lost.
+func TestPipeCloseFlushesStaged(t *testing.T) {
+	p := newPipe()
+	p.push(Message{T: 7, Kind: KindSync})
+	p.close()
+	m, ok, closed := p.recv()
+	if !ok || closed || m.T != 7 {
+		t.Fatalf("recv after close: m=%v ok=%v closed=%v", m.T, ok, closed)
+	}
+	if _, ok, closed := p.recv(); ok || !closed {
+		t.Fatal("drained closed pipe should report closed")
+	}
+}
+
+// TestPipeSendOnClosedPanics pins the protocol-bug guard.
+func TestPipeSendOnClosedPanics(t *testing.T) {
+	p := newPipe()
+	p.close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on closed pipe should panic")
+		}
+	}()
+	p.send(Message{T: 1})
 }

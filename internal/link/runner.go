@@ -2,6 +2,7 @@ package link
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,6 +40,16 @@ type Runner struct {
 	// repeating the pass at the same time is a no-op on every endpoint and
 	// is skipped wholesale.
 	lastSyncAll sim.Time
+
+	// epoch anchors the profiler's wall-clock samples: time.Since on a
+	// monotonic base is measurably cheaper than time.Now on VMs where the
+	// wall clock is a syscall, and the counters only ever need differences.
+	// procTick counts message-handling occasions and waitTick blocking
+	// occasions; only every profSamplePeriod-th (resp. waitSamplePeriod-th)
+	// one is actually timed (see drainAll and blockOnLimiting).
+	epoch    time.Time
+	procTick uint32
+	waitTick uint32
 
 	// OnAdvance, if set, is invoked after each batch of events with the
 	// runner's new virtual time; the profiler hooks in here.
@@ -93,6 +104,7 @@ func (r *Runner) Counters() Counters {
 // many runners concurrently. Events scheduled at exactly end do not execute.
 func (r *Runner) Run(end sim.Time) {
 	r.end = end
+	r.epoch = time.Now()
 	for _, c := range r.comps {
 		c.Start(end)
 	}
@@ -120,7 +132,11 @@ func (r *Runner) Run(end sim.Time) {
 			}
 			return
 		}
-		r.drainAll()
+		// No second drain here: new messages can only have been published
+		// while this goroutine was off the processor, so the event batch we
+		// just ran cannot have grown the queues. If something did slip in
+		// from a truly concurrent peer, blockOnLimiting's opening tryRecv
+		// sees it and returns without parking.
 		if r.horizon() > r.sched.Now() {
 			continue // more headroom appeared; keep running
 		}
@@ -175,51 +191,100 @@ func (r *Runner) syncCap() sim.Time {
 }
 
 // sendSyncs emits a sync on every endpoint that has not yet sent at the
-// current time. After one full pass at time t every endpoint's lastSentT is
-// >= t, so a repeat pass at the same time would be a no-op on each endpoint
-// and is coalesced away entirely.
+// current time, then publishes everything staged this pass. After one full
+// pass at time t every endpoint's lastSentT is >= t, so a repeat pass at
+// the same time stages nothing — but the flush still runs, because events
+// executed since the last pass may have staged data sends at an unchanged
+// virtual time.
 func (r *Runner) sendSyncs() {
 	now := r.sched.Now()
-	if now == r.lastSyncAll {
+	if now != r.lastSyncAll {
+		r.lastSyncAll = now
+		for _, e := range r.eps {
+			e.sendSync(now)
+			e.out.flush()
+		}
 		return
 	}
-	r.lastSyncAll = now
+	r.flushAll()
+}
+
+// flushAll publishes every endpoint's staged outgoing messages. This is the
+// send-side batch-publication point: N sends during a scheduler pass cost
+// one atomic publish and at most one consumer wakeup per endpoint. Runs
+// after each event batch (sendSyncs), at finish (via close), and before
+// blocking, so a peer can never be left waiting on a staged message while
+// this runner sleeps.
+func (r *Runner) flushAll() {
 	for _, e := range r.eps {
-		e.sendSync(now)
+		e.out.flush()
 	}
 }
 
+// profSamplePeriod is the sampling stride for the always-on ProcNanos
+// accounting: one batch in profSamplePeriod is wall-clock timed and the
+// measurement scaled up by the stride. Reading the monotonic clock is a
+// syscall on many virtualized hosts, and two reads around every (often
+// single-message) batch was itself a top profile entry; the sampled
+// counters converge on the true totals while the hot path pays a clock
+// pair only once per stride. WaitNanos samples at a shorter stride:
+// blocked time is the profiler's primary bottleneck signal and individual
+// waits have higher variance than batch-handling times, so it trades less
+// of its accuracy away.
+const (
+	profSamplePeriod = 8 // power of two
+	waitSamplePeriod = 4 // power of two
+)
+
 // drainAll consumes every already-queued incoming message on every endpoint
-// without blocking. Each endpoint's queue is taken as one batch — one lock
-// acquisition and one wall-clock sample per batch rather than per message —
-// which is what keeps per-message fabric overhead low enough for
-// decomposition to pay off.
+// without blocking. Each endpoint's queue is handled in place as one batch
+// (pipe.drain) — one atomic acquire and at most one wall-clock sample pair
+// per batch rather than per message — which is what keeps per-message
+// fabric overhead low enough for decomposition to pay off.
 func (r *Runner) drainAll() {
 	for _, e := range r.eps {
-		batch, closed := e.in.tryRecvAll(e.scratch)
-		if len(batch) == 0 {
-			e.scratch = batch
-			if closed && !e.peerDone {
-				e.peerDone = true
-				r.horizonOK = false
+		if e.in.empty() {
+			// Nothing published; all that can remain is end-of-stream (the
+			// drain call re-checks under the close/publish race).
+			if !e.peerDone {
+				if _, closed := e.in.drain(e.handle); closed {
+					e.peerDone = true
+					r.horizonOK = false
+				}
 			}
 			continue
 		}
-		start := time.Now()
-		for i := range batch {
-			e.handle(batch[i])
+		r.procTick++
+		if r.procTick&(profSamplePeriod-1) == 0 {
+			start := time.Since(r.epoch)
+			e.in.drain(e.handle)
+			e.Stats.ProcNanos += uint64(time.Since(r.epoch)-start) * profSamplePeriod
+		} else {
+			e.in.drain(e.handle)
 		}
-		e.Stats.ProcNanos += uint64(time.Since(start).Nanoseconds())
-		// Drop payload references before handing the batch back to the
-		// pipe as the next swap buffer.
-		clear(batch)
-		e.scratch = batch
+		// The ring tracks the deepest backlog the peer ever built against
+		// us; snapshot it from the consumer side where Stats is owned.
+		e.Stats.PeakDepth = e.in.peakDepth()
 	}
 }
 
+// blockYields bounds how many times a stuck runner yields the processor
+// before parking for real. On a machine with fewer cores than runners the
+// peer we are waiting on is not running concurrently — it runs *because* we
+// yield — so a short yield loop usually picks up the message for the price
+// of a scheduler pass, where parking would cost a full sleep/wake round trip
+// through the wake gate. The bound keeps a runner whose peer is genuinely
+// slow (remote, or blocked on I/O) from busy-spinning.
+const blockYields = 64
+
 // blockOnLimiting waits for a message on the endpoint with the smallest
-// horizon, charging the blocked wall time to that endpoint's wait counter.
+// horizon, charging the blocked wall time to that endpoint's wait counter
+// and — like the drain path — the handling time to its proc counter, so
+// wait-time profiles do not silently lose the wakeup message's work.
+// Everything staged is published first: peers must see every message we
+// have produced before we sleep on them.
 func (r *Runner) blockOnLimiting() {
+	r.flushAll()
 	var limiting *Endpoint
 	h := sim.Infinity
 	for _, e := range r.eps {
@@ -231,15 +296,43 @@ func (r *Runner) blockOnLimiting() {
 	if limiting == nil {
 		panic("link: runner " + r.name + " blocked with no endpoints")
 	}
-	start := time.Now()
-	m, ok, _ := limiting.in.recv()
-	limiting.Stats.WaitNanos += uint64(time.Since(start).Nanoseconds())
+	m, ok, closed := limiting.in.tryRecv()
+	if !ok && !closed {
+		// We are actually going to wait. Like ProcNanos, the wait counter
+		// is sampled: one block in waitSamplePeriod is timed and scaled.
+		// An immediately available message (the branch above) waited ~0
+		// and records 0 without touching the clock at all.
+		r.waitTick++
+		var start time.Duration
+		sampled := r.waitTick&(waitSamplePeriod-1) == 0
+		if sampled {
+			start = time.Since(r.epoch)
+		}
+		for i := 0; !ok && !closed; i++ {
+			if i >= blockYields {
+				m, ok, _ = limiting.in.recv()
+				break
+			}
+			runtime.Gosched()
+			m, ok, closed = limiting.in.tryRecv()
+		}
+		if sampled {
+			limiting.Stats.WaitNanos += uint64(time.Since(r.epoch)-start) * waitSamplePeriod
+		}
+	}
 	if !ok {
 		limiting.peerDone = true
 		r.horizonOK = false
 		return
 	}
-	limiting.handle(m)
+	r.procTick++
+	if r.procTick&(profSamplePeriod-1) == 0 {
+		start := time.Since(r.epoch)
+		limiting.handle(m)
+		limiting.Stats.ProcNanos += uint64(time.Since(r.epoch)-start) * profSamplePeriod
+	} else {
+		limiting.handle(m)
+	}
 }
 
 // Group runs a set of coupled runners to a common end time.

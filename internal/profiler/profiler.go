@@ -127,7 +127,7 @@ func (c *Collector) Transports() []TransportSample {
 // WriteTo emits the samples as text log lines, one adapter per line:
 //
 //	splitsim-prof sim=<name> wall=<ns> virt=<ps> ep=<label> peer=<sim>
-//	  wait=<ns> proc=<ns> txd=<n> txs=<n> rxd=<n> rxs=<n>
+//	  wait=<ns> proc=<ns> depth=<n> txd=<n> txs=<n> rxd=<n> rxs=<n>
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, s := range c.Samples() {
@@ -141,9 +141,9 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 		}
 		for _, a := range s.Adapters {
 			n, err := fmt.Fprintf(w,
-				"splitsim-prof sim=%s wall=%d virt=%d ep=%s peer=%s wait=%d proc=%d txd=%d txs=%d rxd=%d rxs=%d\n",
+				"splitsim-prof sim=%s wall=%d virt=%d ep=%s peer=%s wait=%d proc=%d depth=%d txd=%d txs=%d rxd=%d rxs=%d\n",
 				s.Sim, s.WallNs, int64(s.Virt), a.Label, a.Peer,
-				a.WaitNanos, a.ProcNanos, a.TxData, a.TxSync, a.RxData, a.RxSync)
+				a.WaitNanos, a.ProcNanos, a.PeakDepth, a.TxData, a.TxSync, a.RxData, a.RxSync)
 			total += int64(n)
 			if err != nil {
 				return total, err
@@ -251,6 +251,13 @@ func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 				{"rxd", &a.RxData}, {"rxs", &a.RxSync},
 			} {
 				if err := parse(f.name, f.dst); err != nil {
+					return nil, nil, err
+				}
+			}
+			// depth= was added after the first log format; logs written
+			// before it parse with a zero peak depth.
+			if _, hasDepth := kv["depth"]; hasDepth {
+				if err := parse("depth", &a.PeakDepth); err != nil {
 					return nil, nil, err
 				}
 			}

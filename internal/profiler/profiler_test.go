@@ -15,7 +15,7 @@ func mkSample(simName string, wall uint64, virt sim.Time, peer string, wait, pro
 		Sim: simName, WallNs: wall, Virt: virt,
 		Adapters: []AdapterSample{{
 			Label: simName + ".a", Peer: peer,
-			Counters: link.Counters{WaitNanos: wait, ProcNanos: proc, TxData: txd, TxSync: txd, RxData: txd, RxSync: txd},
+			Counters: link.Counters{WaitNanos: wait, ProcNanos: proc, PeakDepth: txd + 3, TxData: txd, TxSync: txd, RxData: txd, RxSync: txd},
 		}},
 	}
 }
@@ -141,6 +141,20 @@ func TestParseLogIgnoresForeignLines(t *testing.T) {
 	got, err := ParseLog(strings.NewReader(in))
 	if err != nil || len(got) != 1 || got[0].Sim != "a" {
 		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestParseLogWithoutDepthField(t *testing.T) {
+	// Logs written before the depth= field existed must still parse, with a
+	// zero peak depth.
+	in := "splitsim-prof sim=a wall=1 virt=2 ep=a.x peer=b wait=3 proc=4 txd=5 txs=6 rxd=7 rxs=8\n"
+	got, err := ParseLog(strings.NewReader(in))
+	if err != nil || len(got) != 1 || len(got[0].Adapters) != 1 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	a := got[0].Adapters[0]
+	if a.PeakDepth != 0 || a.WaitNanos != 3 || a.RxSync != 8 {
+		t.Fatalf("adapter = %+v", a)
 	}
 }
 

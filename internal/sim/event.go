@@ -25,6 +25,21 @@ package sim
 // single top-down sift of the new element — the classic replace-top fusion —
 // instead of a full pop restructure plus a bottom-up push.
 
+// Payload is the opaque unit of data a typed delivery event carries. It is
+// the kernel-level view of a channel message: package core aliases it as
+// core.Message, so anything that travels over a channel can be stored
+// directly in an event-queue slot without a wrapping closure.
+type Payload interface {
+	Size() int
+}
+
+// Sink receives typed delivery events. Deliver runs at the event's virtual
+// time with the payload stored in the queue entry; package core aliases this
+// interface as core.Sink.
+type Sink interface {
+	Deliver(at Time, payload Payload)
+}
+
 // Timer is a handle to a scheduled event that can be cancelled or inspected.
 // Cancellation is lazy: the entry stays in the heap and is skipped when it
 // surfaces.
@@ -52,11 +67,18 @@ func (t *Timer) Pending() bool { return t != nil && !t.fired && !t.canceled }
 func (t *Timer) When() Time { return t.at }
 
 type eventEntry struct {
-	at    Time
-	src   int32
+	at  Time
+	src int32
+	// del marks a typed delivery event: when non-zero the event runs
+	// sink.Deliver(at, payload) from the scheduler's delivery side table at
+	// slot del-1, and fn is nil. Keeping only an index here (it packs into
+	// src's padding) holds the entry at 40 bytes — storing the two
+	// interface values inline would nearly double the bytes and the GC
+	// write-barrier work every heap sift copies.
+	del   int32
 	seq   uint64
 	fn    func()
-	timer *Timer // nil for Post/PostSrc events (not cancellable)
+	timer *Timer // nil for Post/PostSrc/PostDelivery events (not cancellable)
 }
 
 func entryLess(a, b *eventEntry) bool {
@@ -137,8 +159,8 @@ func (q *eventQueue) Pop() (eventEntry, bool) {
 		return eventEntry{}, false
 	}
 	e := q.h[0]
-	// Drop the popped slot's references; at/src/seq garbage is fine while
-	// the hole is open.
+	// Drop the popped slot's references; at/src/seq/del garbage is fine
+	// while the hole is open.
 	q.h[0].fn = nil
 	q.h[0].timer = nil
 	q.hole = true

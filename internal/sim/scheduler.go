@@ -15,6 +15,19 @@ type Scheduler struct {
 
 	// busy accumulates modeled host-CPU nanoseconds charged via Charge.
 	busy uint64
+
+	// deliveries is the side table for typed delivery events: the queue
+	// entry carries only a slot index (see eventEntry.del), the (sink,
+	// payload) pair lives here and each slot is recycled through freeDel
+	// when its event fires. Both slices grow to the peak number of pending
+	// deliveries and are then allocation-free.
+	deliveries []delivery
+	freeDel    []int32
+}
+
+type delivery struct {
+	sink    Sink
+	payload Payload
 }
 
 // NewScheduler returns a scheduler whose locally scheduled events use id as
@@ -82,6 +95,29 @@ func (s *Scheduler) PostSrc(t Time, src int32, fn func()) {
 	s.q.Push(eventEntry{at: t, src: src, seq: s.seq, fn: fn})
 }
 
+// PostDelivery schedules a typed delivery event: at time t the scheduler
+// calls sink.Deliver(t, payload) directly from the queue slot. Like PostSrc
+// it returns no Timer and orders identically to AtSrc at the same call
+// position, but it additionally avoids the capturing closure a func() event
+// would need — the channel fabric uses it for every data message, making
+// steady-state message delivery allocation-free.
+func (s *Scheduler) PostDelivery(t Time, src int32, sink Sink, payload Payload) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var i int32
+	if n := len(s.freeDel); n > 0 {
+		i = s.freeDel[n-1]
+		s.freeDel = s.freeDel[:n-1]
+		s.deliveries[i] = delivery{sink: sink, payload: payload}
+	} else {
+		s.deliveries = append(s.deliveries, delivery{sink: sink, payload: payload})
+		i = int32(len(s.deliveries) - 1)
+	}
+	s.q.Push(eventEntry{at: t, src: src, del: i + 1, seq: s.seq})
+}
+
 // PeekTime returns the time of the earliest pending event. ok is false when
 // the queue holds no runnable event.
 func (s *Scheduler) PeekTime() (t Time, ok bool) {
@@ -124,6 +160,14 @@ func (s *Scheduler) runHead() {
 		e.timer.fired = true
 	}
 	s.done++
+	if e.del != 0 {
+		i := e.del - 1
+		d := s.deliveries[i]
+		s.deliveries[i] = delivery{} // drop references before recycling
+		s.freeDel = append(s.freeDel, i)
+		d.sink.Deliver(e.at, d.payload)
+		return
+	}
 	e.fn()
 }
 

@@ -1,9 +1,15 @@
 #!/bin/sh
 # Regenerate the repository's benchmark-baseline files. Runs the link,
-# scheduler, and placement microbenchmark suites and appends one revision
-# entry to BENCH_link.json / BENCH_sched.json / BENCH_placement.json via
-# cmd/benchjson. Every perf-relevant PR should run this and commit the
-# updated files so the repository carries its own perf trajectory.
+# fabric, scheduler, and placement microbenchmark suites and appends one
+# revision entry to BENCH_link.json / BENCH_fabric.json / BENCH_sched.json /
+# BENCH_placement.json via cmd/benchjson. Every perf-relevant PR should run
+# this and commit the updated files so the repository carries its own perf
+# trajectory.
+#
+# After each suite, benchjson prints a diff against the latest committed
+# entry and flags ns/op slowdowns beyond 20%. Set BENCH_STRICT=1 to make
+# such a regression fail the script (CI runs the benches as a non-blocking
+# advisory step).
 #
 # Usage: scripts/bench.sh [rev-label]
 # The label defaults to the current git short hash.
@@ -13,18 +19,25 @@ cd "$(dirname "$0")/.."
 REV="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-1s}"
+STRICT=""
+[ -n "$BENCH_STRICT" ] && STRICT="-fail-on-regress"
 
 echo "== link fabric benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkDrain|BenchmarkPipe|BenchmarkCoupled' \
     -benchtime "$TIME" -count "$COUNT" ./internal/link/ |
-    go run ./cmd/benchjson -suite link -out BENCH_link.json -rev "$REV"
+    go run ./cmd/benchjson -suite link -out BENCH_link.json -rev "$REV" $STRICT
+
+echo "== SPSC ring benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkFabric' \
+    -benchtime "$TIME" -count "$COUNT" ./internal/link/ |
+    go run ./cmd/benchjson -suite fabric -out BENCH_fabric.json -rev "$REV" $STRICT
 
 echo "== scheduler benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkTimerChurn|BenchmarkQueueChurn|BenchmarkSchedulerMixed' \
     -benchtime "$TIME" -count "$COUNT" ./internal/sim/ |
-    go run ./cmd/benchjson -suite sched -out BENCH_sched.json -rev "$REV"
+    go run ./cmd/benchjson -suite sched -out BENCH_sched.json -rev "$REV" $STRICT
 
 echo "== placement benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkPlacement' \
     -benchtime "$TIME" -count "$COUNT" ./internal/orch/ |
-    go run ./cmd/benchjson -suite placement -out BENCH_placement.json -rev "$REV"
+    go run ./cmd/benchjson -suite placement -out BENCH_placement.json -rev "$REV" $STRICT
