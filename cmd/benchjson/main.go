@@ -13,6 +13,16 @@
 // -fail-on-regress the process exits non-zero on a flagged regression; CI
 // runs it that way as a non-blocking advisory step.
 //
+// A second mode reads nothing from stdin and instead re-runs the regression
+// diff over already-committed baseline files — every suite at once:
+//
+//	go run ./cmd/benchjson -report              # all BENCH_*.json
+//	go run ./cmd/benchjson -report BENCH_link.json BENCH_netsim.json
+//
+// For each file the newest entry is compared against the newest entry with
+// a different revision label, exactly the comparison the recording mode
+// prints, so the cross-suite perf state of the tree is one command away.
+//
 // scripts/bench.sh wraps all suites.
 package main
 
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -62,9 +73,13 @@ func main() {
 	rev := flag.String("rev", "", "revision label for this entry (e.g. PR1, a git hash)")
 	regressPct := flag.Float64("regress-pct", 20, "ns/op slowdown (in percent) vs the previous entry flagged as a regression")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when a benchmark regresses past -regress-pct")
+	reportMode := flag.Bool("report", false, "diff committed baseline files (args, default BENCH_*.json) instead of reading bench output")
 	flag.Parse()
+	if *reportMode {
+		os.Exit(reportFiles(flag.Args(), *regressPct, *failOnRegress))
+	}
 	if *suite == "" || *out == "" || *rev == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchjson -suite NAME -out FILE.json -rev LABEL < bench-output")
+		fmt.Fprintln(os.Stderr, "usage: benchjson -suite NAME -out FILE.json -rev LABEL < bench-output\n       benchjson -report [FILE.json ...]")
 		os.Exit(2)
 	}
 
@@ -177,6 +192,55 @@ func main() {
 	if regressions > 0 && *failOnRegress {
 		os.Exit(3)
 	}
+}
+
+// reportFiles is the -report mode: for every named baseline file (all
+// BENCH_*.json in the working directory when none are named) it diffs the
+// newest entry against the newest entry recorded under a different revision
+// and prints the same per-benchmark report the recording mode does. The
+// return value is the process exit code: 0 clean, 3 when failOnRegress is
+// set and any suite regressed, 1 on unreadable input.
+func reportFiles(files []string, regressPct float64, failOnRegress bool) int {
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -report: no BENCH_*.json files found")
+			return 1
+		}
+		sort.Strings(files)
+	}
+	regressions := 0
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			return 1
+		}
+		if len(f.History) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: empty history\n", f.Suite)
+			continue
+		}
+		cur := f.History[len(f.History)-1]
+		var prev *Entry
+		for i := len(f.History) - 1; i >= 0; i-- {
+			if f.History[i].Rev != cur.Rev {
+				prev = &f.History[i]
+				break
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: rev %s (%s)\n", f.Suite, cur.Rev, cur.Date)
+		regressions += report(os.Stderr, f.Suite, prev, cur, regressPct)
+	}
+	if regressions > 0 && failOnRegress {
+		return 3
+	}
+	return 0
 }
 
 // report diffs entry against prev (the latest committed entry for another

@@ -97,6 +97,20 @@ func (e Env) After(d sim.Time, fn func()) *sim.Timer {
 	return e.Sched.AtSrc(e.Sched.Now()+d, e.Src, fn)
 }
 
+// Post schedules fn at absolute time t like At but without a cancellation
+// handle, so the kernel allocates nothing beyond the queue slot. It orders
+// identically to At at the same call position.
+func (e Env) Post(t sim.Time, fn func()) { e.Sched.PostSrc(t, e.Src, fn) }
+
+// PostDelivery schedules sink.Deliver(t, payload) as a typed delivery event
+// with the component's ordering source: no Timer, no capturing closure. It
+// orders identically to At at the same call position — the substrate hot
+// paths (switch forwarding, NIC DMA, host stack completion) use it to hand
+// pooled frames and batches along without allocating.
+func (e Env) PostDelivery(t sim.Time, sink Sink, payload Message) {
+	e.Sched.PostDelivery(t, e.Src, sink, payload)
+}
+
 // Component is a simulator component that the orchestrator can run. A
 // component is attached to an Env (its own runner's scheduler in coupled
 // mode, a shared scheduler in sequential mode), then started once to seed
@@ -129,10 +143,39 @@ type CostAccount struct {
 // Charge records ns nanoseconds of modeled simulation work.
 func (a *CostAccount) Charge(ns uint64) { a.busy += ns }
 
+// Store overwrites the accumulated total. Components that account cost
+// lazily — recomputing it from packet counters when Cost() is read, instead
+// of charging in their per-packet inner loop — use it to refresh the
+// account at read time. Consumers must read BusyNanos immediately after
+// Cost() and never retain the pointer across further simulation.
+func (a *CostAccount) Store(ns uint64) { a.busy = ns }
+
 // BusyNanos returns the total charged so far.
 func (a *CostAccount) BusyNanos() uint64 { return a.busy }
 
 // Coster is implemented by components that account their modeled cost.
 type Coster interface {
 	Cost() *CostAccount
+}
+
+// Releaser is implemented by messages that hold pooled resources (frames,
+// batches). ReleaseMessage is called on every payload still queued when a
+// run ends so pools balance and the frame-leak counters read zero.
+type Releaser interface {
+	Release()
+}
+
+// ReleaseMessage returns any pooled resources held by payload; messages
+// without pooled state are ignored.
+func ReleaseMessage(payload Message) {
+	if r, ok := payload.(Releaser); ok {
+		r.Release()
+	}
+}
+
+// FramePooler is implemented by components that own a frame pool; the
+// profiler and the orchestrator's pool-health table aggregate these
+// counters per component.
+type FramePooler interface {
+	FrameStats() proto.PoolStats
 }

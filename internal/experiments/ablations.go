@@ -59,6 +59,7 @@ func trunkAblationRun(trunk bool, opts Options) (*orch.Simulation, *netsim.Built
 		c.BindUDP(proto.PortBulk, func(proto.IP, uint16, []byte, int) {})
 	}
 	s.RunSequential(dur)
+	checkDrained(s)
 	return s, b, dur
 }
 

@@ -261,6 +261,7 @@ func runClockSync(mode ClockSyncMode, opts Options) ClockSyncRow {
 	}
 
 	s.RunSequential(dur)
+	checkDrained(s)
 
 	row := ClockSyncRow{
 		Mode:            mode,

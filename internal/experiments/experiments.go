@@ -9,8 +9,10 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/orch"
 	"repro/internal/sim"
 )
 
@@ -46,6 +48,15 @@ func (o Options) Dur(base, floor sim.Time) sim.Time {
 		return floor
 	}
 	return d
+}
+
+// checkDrained panics when a finished run left pooled frames checked out —
+// a leak on the zero-alloc packet path. Every harness calls it after its
+// run, so the whole evaluation doubles as a pool-ownership audit.
+func checkDrained(s *orch.Simulation) {
+	if n := s.LiveFrames(); n != 0 {
+		panic(fmt.Sprintf("experiments: %d pooled frames still live after run", n))
+	}
 }
 
 // stopwatch measures harness wall time.

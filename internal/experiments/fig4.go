@@ -215,6 +215,7 @@ func serverNIC(rate int64) nicsim.Params {
 func (inst *fig4Instance) run(sys Fig4System, cfg Fig4Config) Fig4Cell {
 	sw := newStopwatch()
 	inst.sim.RunSequential(inst.dur)
+	checkDrained(inst.sim)
 	window := inst.dur - inst.warmup
 
 	cell := Fig4Cell{System: sys, Config: cfg, Cores: inst.sim.NumComponents(), WallMs: sw.ms()}

@@ -132,6 +132,7 @@ func fig5Run(w Fig5Workload, opts Options) []Fig5Series {
 
 	n.ComputeRoutes()
 	s.RunSequential(dur)
+	checkDrained(s)
 
 	series := func(client string, lats ...*stats.Latency) Fig5Series {
 		var merged stats.Latency

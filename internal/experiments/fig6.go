@@ -175,6 +175,7 @@ func fig6Run(cfg Fig4Config, kPackets int, opts Options) Fig6Point {
 	n.ComputeRoutes()
 
 	s.RunSequential(dur)
+	checkDrained(s)
 
 	var bytes int64
 	var rtx uint64

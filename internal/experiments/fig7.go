@@ -84,6 +84,7 @@ func fig7Run(n int, opts Options) Fig7Point {
 	cores, _ := memsim.BuildSplit(s, n, p)
 	sw := newStopwatch()
 	s.RunSequential(dur)
+	checkDrained(s)
 	pt := Fig7Point{Cores: n, WallMs: sw.ms()}
 	for _, c := range cores {
 		pt.Blocks += c.Blocks

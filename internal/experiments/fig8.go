@@ -98,6 +98,7 @@ func fig8Run(flavor string, parts int, opts Options) Fig8Point {
 	}
 
 	s.RunSequential(dur)
+	checkDrained(s)
 
 	comps, links := s.ModelGraph(dur)
 	if flavor == "omnet" {

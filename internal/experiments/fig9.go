@@ -193,6 +193,7 @@ func fig9Run(strategy decomp.Strategy, hostKind string, opts Options) *fig9Setup
 	hostA.Host.AddApp(hostsim.AppFunc(func(h *hostsim.Host) { cli.Run(h) }))
 
 	s.RunSequential(dur)
+	checkDrained(s)
 	comps, links := s.ModelGraph(dur)
 	// Undo the load sampling: each simulated background packet stands for
 	// 1/scale packets of the full-scale workload.

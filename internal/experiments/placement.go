@@ -161,6 +161,7 @@ func PlacementStudy(opts Options) (*PlacementResult, error) {
 	// and the cost/traffic graph every prediction starts from.
 	ref := buildPlacementStudy(opts)
 	refSched := ref.s.RunSequential(dur)
+	checkDrained(ref.s)
 	refReceived, refEvents := *ref.received, refSched.Processed()
 	if refReceived == 0 {
 		return nil, fmt.Errorf("experiments: placement reference run carried no traffic")
@@ -187,6 +188,7 @@ func PlacementStudy(opts Options) (*PlacementResult, error) {
 		if err := run.s.RunPlaced(dur, p); err != nil {
 			return nil, fmt.Errorf("experiments: placement %s: %w", name, err)
 		}
+		checkDrained(run.s)
 		wall := sw.ms()
 		var events, syncMsgs uint64
 		for _, rn := range run.s.Group.Runners {
@@ -273,6 +275,7 @@ func PlanFor(name string, opts Options) (string, error) {
 		if placement == "auto" {
 			ref := buildPlacementStudy(opts)
 			ref.s.RunSequential(dur)
+			checkDrained(ref.s)
 			refComps, refLinks = ref.s.ModelGraph(dur)
 		}
 		p, err := ps.studyPlacement(placement, refComps, refLinks, mp)
@@ -341,6 +344,7 @@ func planPlacement(name string, s *orch.Simulation, dur sim.Time,
 	case "auto":
 		probe := build()
 		probe.RunSequential(dur)
+		checkDrained(probe)
 		comps, links := probe.ModelGraph(dur)
 		return decomp.AutoPlace(comps, links, decomp.DefaultParams(dur), decomp.RecommendOptions{}), nil
 	}

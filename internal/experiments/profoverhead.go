@@ -67,6 +67,7 @@ func profOverheadRun(opts Options, profile bool) (float64, int) {
 	if err := s.RunCoupled(dur); err != nil {
 		panic(err)
 	}
+	checkDrained(s)
 	ms := float64(time.Since(start).Microseconds()) / 1000
 	n := 0
 	if col != nil {

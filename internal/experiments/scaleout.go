@@ -129,6 +129,7 @@ func runScaleOutMono(end sim.Time) ([2]uint64, error) {
 	if err := s.RunCoupled(end); err != nil {
 		return [2]uint64{}, err
 	}
+	checkDrained(s)
 	return t.rx(), nil
 }
 
@@ -192,6 +193,8 @@ func runScaleOutDist(end sim.Time, seed uint64, chaos *proxy.Chaos) ([2]uint64, 
 	if first != nil {
 		return [2]uint64{}, nil, first
 	}
+	checkDrained(sA)
+	checkDrained(sB)
 	return t.rx(), []proxy.Counters{supA.Counters(), supB.Counters()}, nil
 }
 

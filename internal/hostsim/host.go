@@ -61,8 +61,98 @@ type Host struct {
 	lastHW sim.Time
 	lastSW sim.Time
 
+	// pool recycles parsed frames and encode buffers for this host's stack.
+	pool proto.FramePool
+
+	// freeTxJob/freeRxJob recycle the stack-traversal descriptors parked in
+	// the scheduler while simulated CPU time elapses.
+	freeTxJob []*txJob
+	freeRxJob []*rxJob
+
+	// txSink and rxSink are the typed-delivery sinks for stack-compute
+	// completion events — one queue slot per in-flight packet, no closures.
+	txSink hostTxSink
+	rxSink hostRxSink
+
 	// Statistics.
 	RxPackets, TxPackets uint64
+}
+
+// txJob is a frame traversing the transmit stack: already encoded, waiting
+// for its simulated CPU time to elapse before the PCI doorbell.
+type txJob struct {
+	h     *Host
+	bytes []byte
+	stamp bool
+	onTx  func(sim.Time)
+}
+
+// Size implements core.Message.
+func (j *txJob) Size() int { return len(j.bytes) }
+
+// Release implements core.Releaser for end-of-run scheduler sweeps.
+func (j *txJob) Release() {
+	if j.bytes != nil {
+		j.h.pool.PutBuf(j.bytes)
+		j.bytes = nil
+	}
+	j.onTx = nil
+}
+
+// rxJob is a parsed frame traversing the receive stack (IRQ + driver +
+// stack cost) on its way to the socket layer.
+type rxJob struct {
+	h      *Host
+	f      *proto.Frame
+	hw, sw sim.Time
+}
+
+// Size implements core.Message.
+func (j *rxJob) Size() int { return j.f.Size() }
+
+// Release implements core.Releaser for end-of-run scheduler sweeps.
+func (j *rxJob) Release() {
+	if j.f != nil {
+		j.f.Release()
+		j.f = nil
+	}
+}
+
+// hostTxSink fires when the transmit stack's CPU time has elapsed: the
+// doorbell rings and the descriptor crosses the PCI channel.
+type hostTxSink struct{ h *Host }
+
+// Deliver implements core.Sink.
+func (k *hostTxSink) Deliver(_ sim.Time, m core.Message) {
+	h := k.h
+	j := m.(*txJob)
+	if h.nicPort == nil {
+		panic("hostsim: " + h.name + " has no NIC bound")
+	}
+	h.txID++
+	id := h.txID
+	if j.stamp && j.onTx != nil {
+		h.txWaiters[id] = j.onTx
+	}
+	b := pci.GetTxBatch()
+	b.Subs = append(b.Subs, pci.TxSubmit{ID: id, Frame: j.bytes, Timestamp: j.stamp})
+	h.nicPort.Send(b)
+	j.bytes, j.onTx = nil, nil
+	h.freeTxJob = append(h.freeTxJob, j)
+}
+
+// hostRxSink fires when the receive stack's CPU time has elapsed: the
+// packet reaches the socket layer and the frame returns to the pool.
+type hostRxSink struct{ h *Host }
+
+// Deliver implements core.Sink.
+func (k *hostRxSink) Deliver(_ sim.Time, m core.Message) {
+	h := k.h
+	j := m.(*rxJob)
+	h.demux(j.f, j.hw, j.sw)
+	j.f.Release()
+	j.f = nil
+	h.freeRxJob = append(h.freeRxJob, j)
 }
 
 type tcpKey struct {
@@ -74,7 +164,7 @@ type tcpKey struct {
 // New creates a detailed host. seed derives all of the host's randomness
 // (timing noise); the oscillator is configured separately via Clock.Osc.
 func New(name string, ip proto.IP, p Params, seed uint64) *Host {
-	return &Host{
+	h := &Host{
 		name: name, ip: ip, mac: proto.MACFromID(uint32(ip)), p: p,
 		rng:          sim.NewRand(seed ^ uint64(ip)*0x9e3779b97f4a7c15),
 		cpuBusyUntil: make([]sim.Time, 1),
@@ -83,6 +173,9 @@ func New(name string, ip proto.IP, p Params, seed uint64) *Host {
 		udpPorts:     make(map[uint16]UDPHandler),
 		tcpConns:     make(map[tcpKey]*tcpstack.Conn),
 	}
+	h.txSink.h = h
+	h.rxSink.h = h
+	return h
 }
 
 // SetCores configures the number of simulated cores (default 1 — the
@@ -169,11 +262,11 @@ func (h *Host) jitter(d sim.Time) sim.Time {
 	return sim.Time(float64(d) * f)
 }
 
-// Compute runs fn after a simulated core has spent d executing this work,
-// serialized behind previously queued work on the least-loaded core. This
-// is the mechanism that makes servers saturate and adds the latency the
-// protocol-level simulator cannot see.
-func (h *Host) Compute(d sim.Time, fn func()) {
+// computeDone books d of work on the least-loaded simulated core and
+// returns its completion time, serialized behind previously queued work.
+// This is the mechanism that makes servers saturate and adds the latency
+// the protocol-level simulator cannot see.
+func (h *Host) computeDone(d sim.Time) sim.Time {
 	d = h.jitter(d)
 	ci := 0
 	for i := 1; i < len(h.cpuBusyUntil); i++ {
@@ -188,7 +281,12 @@ func (h *Host) Compute(d sim.Time, fn func()) {
 	h.cpuBusyUntil[ci] = start + d
 	h.cpuBusy += d
 	h.cost.Charge(h.p.SimCostPerEventNs)
-	h.env.At(h.cpuBusyUntil[ci], fn)
+	return h.cpuBusyUntil[ci]
+}
+
+// Compute runs fn after a simulated core has spent d executing this work.
+func (h *Host) Compute(d sim.Time, fn func()) {
+	h.env.At(h.computeDone(d), fn)
 }
 
 // CPUBusy returns accumulated busy time of the simulated core.
@@ -203,16 +301,15 @@ func (h *Host) BindUDP(port uint16, fn UDPHandler) {
 }
 
 // SendUDP transmits a datagram: the send syscall and stack consume CPU,
-// then the frame is submitted to the NIC over PCI.
+// then the frame is submitted to the NIC over PCI. The payload is encoded
+// synchronously, so the caller's slice is free for reuse on return.
 func (h *Host) SendUDP(dst proto.IP, srcPort, dstPort uint16, payload []byte, virtual int) {
-	f := &proto.Frame{
-		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
-		IP:  proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP},
-		UDP: proto.UDP{SrcPort: srcPort, DstPort: dstPort},
-
-		Payload:        payload,
-		VirtualPayload: virtual,
-	}
+	f := h.pool.Get()
+	f.Eth = proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac}
+	f.IP = proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP}
+	f.UDP = proto.UDP{SrcPort: srcPort, DstPort: dstPort}
+	f.Payload = payload
+	f.VirtualPayload = virtual
 	f.Seal()
 	h.sendFrame(f, false, nil)
 }
@@ -222,13 +319,11 @@ func (h *Host) SendUDP(dst proto.IP, srcPort, dstPort uint16, payload []byte, vi
 // SO_TIMESTAMPING path ptp4l uses).
 func (h *Host) SendUDPTimestamped(dst proto.IP, srcPort, dstPort uint16,
 	payload []byte, onTx func(hw sim.Time)) {
-	f := &proto.Frame{
-		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
-		IP:  proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP},
-		UDP: proto.UDP{SrcPort: srcPort, DstPort: dstPort},
-
-		Payload: payload,
-	}
+	f := h.pool.Get()
+	f.Eth = proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac}
+	f.IP = proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP}
+	f.UDP = proto.UDP{SrcPort: srcPort, DstPort: dstPort}
+	f.Payload = payload
 	f.Seal()
 	h.sendFrame(f, true, onTx)
 }
@@ -237,20 +332,33 @@ func (h *Host) SendUDPTimestamped(dst proto.IP, srcPort, dstPort uint16,
 // like any other send.
 func (h *Host) Output(f *proto.Frame) { h.sendFrame(f, false, nil) }
 
+// NewFrame implements tcpstack.Transport: segments come from the host's
+// frame pool.
+func (h *Host) NewFrame() *proto.Frame { return h.pool.Get() }
+
+// Post implements tcpstack.Transport's cheap timer primitive.
+func (h *Host) Post(d sim.Time, fn func()) { h.env.Post(h.env.Now()+d, fn) }
+
+// FrameStats implements core.FramePooler.
+func (h *Host) FrameStats() proto.PoolStats { return h.pool.Stats() }
+
+// sendFrame encodes f into a pooled buffer and releases it, then parks a
+// transmit descriptor in the scheduler until the stack's CPU time elapses.
+// Encoding happens before the frame's backing storage can be recycled, so
+// payloads may alias a received frame's buffer.
 func (h *Host) sendFrame(f *proto.Frame, stamp bool, onTx func(sim.Time)) {
 	h.TxPackets++
-	bytes := proto.AppendFrame(nil, f)
-	h.Compute(h.p.TxStackCost, func() {
-		if h.nicPort == nil {
-			panic("hostsim: " + h.name + " has no NIC bound")
-		}
-		h.txID++
-		id := h.txID
-		if stamp && onTx != nil {
-			h.txWaiters[id] = onTx
-		}
-		h.nicPort.Send(pci.TxSubmit{ID: id, Frame: bytes, Timestamp: stamp})
-	})
+	var j *txJob
+	if k := len(h.freeTxJob); k > 0 {
+		j = h.freeTxJob[k-1]
+		h.freeTxJob = h.freeTxJob[:k-1]
+	} else {
+		j = &txJob{h: h}
+	}
+	j.bytes = proto.AppendFrame(h.pool.GetBuf(), f)
+	j.stamp, j.onTx = stamp, onTx
+	f.Release()
+	h.env.PostDelivery(h.computeDone(h.p.TxStackCost), &h.txSink, j)
 }
 
 // ReadPHC issues a PTP-hardware-clock read; fn receives the PHC value and
@@ -282,8 +390,19 @@ func (h *Host) ListenTCP(remote proto.IP, lport, rport uint16, algo tcpstack.CCA
 
 func (h *Host) fromNIC(at sim.Time, m core.Message) {
 	switch msg := m.(type) {
+	case *pci.RxBatch:
+		for i := range msg.Pkts {
+			h.receiveFrame(msg.Pkts[i])
+		}
+		pci.PutRxBatch(msg)
 	case pci.RxPacket:
 		h.receiveFrame(msg)
+	case *pci.TxDone:
+		if fn, ok := h.txWaiters[msg.ID]; ok {
+			delete(h.txWaiters, msg.ID)
+			fn(msg.HWTime)
+		}
+		pci.PutTxDone(msg)
 	case pci.TxDone:
 		if fn, ok := h.txWaiters[msg.ID]; ok {
 			delete(h.txWaiters, msg.ID)
@@ -300,23 +419,29 @@ func (h *Host) fromNIC(at sim.Time, m core.Message) {
 }
 
 // receiveFrame models interrupt + driver + stack costs, then demuxes to the
-// socket layer.
+// socket layer. The DMA'd bytes are adopted by a pooled frame.
 func (h *Host) receiveFrame(msg pci.RxPacket) {
 	h.RxPackets++
-	f, err := proto.ParseFrame(msg.Frame)
-	if err != nil {
-		return // corrupt frame: dropped by the driver
-	}
-	if f.Eth.EtherType != proto.EtherTypeIPv4 || f.IP.Dst != h.ip {
+	f := h.pool.Get()
+	if err := proto.ParseFrameInto(f, msg.Frame); err != nil {
+		f.Release() // corrupt frame: dropped by the driver
 		return
 	}
-	hw := msg.HWTime
+	if f.Eth.EtherType != proto.EtherTypeIPv4 || f.IP.Dst != h.ip {
+		f.Release()
+		return
+	}
+	var j *rxJob
+	if k := len(h.freeRxJob); k > 0 {
+		j = h.freeRxJob[k-1]
+		h.freeRxJob = h.freeRxJob[:k-1]
+	} else {
+		j = &rxJob{h: h}
+	}
 	// SO_TIMESTAMP software receive timestamp: taken when the driver sees
 	// the packet, before it waits behind other work on the CPU.
-	sw := h.ClockNow()
-	h.Compute(h.p.IRQOverhead+h.p.RxStackCost, func() {
-		h.demux(f, hw, sw)
-	})
+	j.f, j.hw, j.sw = f, msg.HWTime, h.ClockNow()
+	h.env.PostDelivery(h.computeDone(h.p.IRQOverhead+h.p.RxStackCost), &h.rxSink, j)
 }
 
 func (h *Host) demux(f *proto.Frame, hw, sw sim.Time) {

@@ -107,7 +107,7 @@ func (e *Endpoint) SendSub(sub uint16, payload core.Message) {
 		e.lastSentT = now
 		e.runner.syncCapOK = false
 	}
-	e.Stats.TxData++
+	e.Stats.TxData += msgCount(payload)
 }
 
 // SubPort returns a core.Port bound to one sub-channel of this endpoint —
@@ -182,7 +182,7 @@ func (e *Endpoint) handle(m Message) {
 		e.Stats.RxSync++
 		return
 	}
-	e.Stats.RxData++
+	e.Stats.RxData += msgCount(m.Payload)
 	sink, ok := e.sinks[m.Sub]
 	if !ok {
 		panic(fmt.Sprintf("link: %s has no sink for sub-channel %d", e.label, m.Sub))

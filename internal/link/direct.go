@@ -35,7 +35,7 @@ func (p *DirectPort) Latency() sim.Time { return p.lat }
 // Send implements core.Port.
 func (p *DirectPort) Send(payload core.Message) {
 	at := p.sched.Now() + p.lat
-	p.Stats.TxData++
+	p.Stats.TxData += msgCount(payload)
 	// Typed delivery event: the (sink, payload) pair lives in the queue
 	// slot, so sequential-mode message delivery allocates nothing.
 	p.sched.PostDelivery(at, p.src, p.sink, payload)

@@ -34,6 +34,24 @@ type Message struct {
 	Payload core.Message
 }
 
+// MultiMessage is implemented by payloads that batch several logical
+// messages into one physical channel message (e.g. a NIC RX batch). The
+// adapter counters credit Count messages per send/receive so profiler
+// output and the decomposition model's per-link message totals stay
+// identical to an unbatched run — batching changes how many events cross
+// the channel, never how much traffic is accounted.
+type MultiMessage interface {
+	Count() int
+}
+
+// msgCount returns the number of logical messages payload represents.
+func msgCount(payload core.Message) uint64 {
+	if m, ok := payload.(MultiMessage); ok {
+		return uint64(m.Count())
+	}
+	return 1
+}
+
 // Counters is the lightweight profiler instrumentation embedded in every
 // adapter, mirroring the paper's three per-adapter counters: cycles blocked
 // waiting for synchronization, messages sent, and messages processed.

@@ -70,6 +70,10 @@ func (r *Runner) Scheduler() *sim.Scheduler { return r.sched }
 // Endpoints returns the endpoints attached so far.
 func (r *Runner) Endpoints() []*Endpoint { return r.eps }
 
+// Components returns the components registered via AddComponent; the
+// profiler walks them to aggregate per-runner frame-pool health.
+func (r *Runner) Components() []core.Component { return r.comps }
+
 // Attach binds endpoint e to this runner. Each endpoint belongs to exactly
 // one runner.
 func (r *Runner) Attach(e *Endpoint) {

@@ -114,12 +114,19 @@ type Core struct {
 
 	end     sim.Time
 	issueAt sim.Time
+
+	// blockDur caches BlockTime() and blockFn the bound completion method,
+	// so the block loop schedules without computing or allocating anything.
+	blockDur sim.Time
+	blockFn  func()
 }
 
 // NewCore creates core number id.
 func NewCore(id int, p Params) *Core {
 	c := &Core{name: fmt.Sprintf("core%d", id), id: id, p: p}
 	c.cost = &c.own
+	c.blockDur = p.BlockTime()
+	c.blockFn = c.blockDone
 	return c
 }
 
@@ -153,13 +160,16 @@ func (c *Core) Start(end sim.Time) {
 
 // runBlock executes one compute block then issues a memory transaction.
 func (c *Core) runBlock() {
-	c.env.After(c.p.BlockTime(), func() {
-		c.Blocks++
-		c.cost.Charge(CostPerBlockNs)
-		c.pending++
-		c.issueAt = c.env.Now()
-		c.memPort.Send(MemReq{Core: c.id, ID: c.pending})
-	})
+	c.env.Post(c.env.Now()+c.blockDur, c.blockFn)
+}
+
+// blockDone fires when the block's execution time has elapsed.
+func (c *Core) blockDone() {
+	c.Blocks++
+	c.cost.Charge(CostPerBlockNs)
+	c.pending++
+	c.issueAt = c.env.Now()
+	c.memPort.Send(MemReq{Core: c.id, ID: c.pending})
 }
 
 func (c *Core) onResp(at sim.Time, m core.Message) {
@@ -184,12 +194,21 @@ type Mem struct {
 	busyUntil sim.Time
 	// Txns counts served transactions.
 	Txns uint64
+
+	// pend is the FIFO of accepted requests awaiting their service slot.
+	// Service completions fire in issue order (busyUntil is non-decreasing
+	// and posts at equal times keep posting order), so one prebound serveFn
+	// replaces a closure per transaction.
+	pend     []MemReq
+	pendHead int
+	serveFn  func()
 }
 
 // NewMem creates the controller.
 func NewMem(p Params) *Mem {
 	m := &Mem{name: "memctl", p: p, ports: make(map[int]core.Port)}
 	m.cost = &m.own
+	m.serveFn = m.serveNext
 	return m
 }
 
@@ -227,11 +246,20 @@ func (m *Mem) onReq(at sim.Time, msg core.Message) {
 		start = m.busyUntil
 	}
 	m.busyUntil = start + m.p.MemService
-	port, ok := m.ports[req.Core]
-	if !ok {
+	if _, ok := m.ports[req.Core]; !ok {
 		panic(fmt.Sprintf("memsim: no port for core %d", req.Core))
 	}
-	m.env.At(m.busyUntil, func() {
-		port.Send(MemResp{Core: req.Core, ID: req.ID})
-	})
+	m.pend = append(m.pend, req)
+	m.env.Post(m.busyUntil, m.serveFn)
+}
+
+// serveNext completes the oldest pending transaction.
+func (m *Mem) serveNext() {
+	req := m.pend[m.pendHead]
+	m.pendHead++
+	if m.pendHead == len(m.pend) {
+		m.pend = m.pend[:0]
+		m.pendHead = 0
+	}
+	m.ports[req.Core].Send(MemResp{Core: req.Core, ID: req.ID})
 }

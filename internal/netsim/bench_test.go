@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// benchFabric builds a star of n hosts around one switch on a fresh
+// scheduler, started and ready to forward — the substrate rig for the
+// steady-state packet-path benchmarks.
+func benchFabric(hosts int) ([]*Host, *sim.Scheduler) {
+	n := New("net", 1)
+	sw := n.AddSwitch("sw")
+	hs := make([]*Host, hosts)
+	for i := range hs {
+		hs[i] = n.AddHost(fmt.Sprintf("h%d", i), proto.HostIP(uint32(i+1)))
+		n.ConnectHostSwitch(hs[i], sw, 10*sim.Gbps, 1*sim.Microsecond)
+	}
+	n.ComputeRoutes()
+	s := sim.NewScheduler(0)
+	n.Attach(core.Env{Sched: s, Src: 1})
+	n.Start(sim.Time(1) << 62)
+	return hs, s
+}
+
+// BenchmarkSubstrateSwitchForward measures one full host->switch->host
+// traversal per op: UDP build, two link enqueues, switch forwarding, and
+// terminal delivery. This is the netsim inner loop every experiment runs
+// millions of times.
+func BenchmarkSubstrateSwitchForward(b *testing.B) {
+	hs, s := benchFabric(2)
+	got := 0
+	hs[1].BindUDP(9, func(proto.IP, uint16, []byte, int) { got++ })
+	dst := hs[1].IP()
+	for i := 0; i < 64; i++ { // warm pools, queue, and flow cache
+		hs[0].SendUDP(dst, 1, 9, nil, 1400)
+		s.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs[0].SendUDP(dst, 1, 9, nil, 1400)
+		s.Run()
+	}
+	b.StopTimer()
+	if got != b.N+64 {
+		b.Fatalf("delivered %d of %d", got, b.N+64)
+	}
+}
+
+// BenchmarkSubstrateNetFanIn is the netsim-heavy end-to-end benchmark: 8
+// hosts on one switch each burst 4 packets to their ring neighbor per op
+// (32 packets/op), exercising concurrent egress queueing and every flow in
+// the switch's cache.
+func BenchmarkSubstrateNetFanIn(b *testing.B) {
+	const hosts, burst = 8, 4
+	hs, s := benchFabric(hosts)
+	got := 0
+	for _, h := range hs {
+		h.BindUDP(9, func(proto.IP, uint16, []byte, int) { got++ })
+	}
+	op := func() {
+		for i, h := range hs {
+			dst := hs[(i+1)%hosts].IP()
+			for k := 0; k < burst; k++ {
+				h.SendUDP(dst, 1, 9, nil, 1400)
+			}
+		}
+		s.Run()
+	}
+	for i := 0; i < 16; i++ {
+		op()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	b.StopTimer()
+	if want := (b.N + 16) * hosts * burst; got != want {
+		b.Fatalf("delivered %d of %d", got, want)
+	}
+}
+
+// TestSubstrateSwitchForwardZeroAlloc pins the tentpole property: after
+// warm-up, a packet's whole journey through the network substrate allocates
+// nothing — frames and payload buffers come from pools, deliveries are
+// typed queue slots, the flow cache short-circuits route lookups.
+func TestSubstrateSwitchForwardZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	hs, s := benchFabric(2)
+	hs[1].BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	dst := hs[1].IP()
+	op := func() {
+		hs[0].SendUDP(dst, 1, 9, nil, 1400)
+		s.Run()
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	if avg := testing.AllocsPerRun(200, op); avg != 0 {
+		t.Fatalf("switch forward path allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestSubstrateNetFanInZeroAlloc extends the zero-alloc assertion to the
+// multi-flow case, where the flow cache holds several entries and egress
+// queues overlap in time.
+func TestSubstrateNetFanInZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	const hosts, burst = 8, 4
+	hs, s := benchFabric(hosts)
+	for _, h := range hs {
+		h.BindUDP(9, func(proto.IP, uint16, []byte, int) {})
+	}
+	op := func() {
+		for i, h := range hs {
+			dst := hs[(i+1)%hosts].IP()
+			for k := 0; k < burst; k++ {
+				h.SendUDP(dst, 1, 9, nil, 1400)
+			}
+		}
+		s.Run()
+	}
+	for i := 0; i < 16; i++ {
+		op()
+	}
+	if avg := testing.AllocsPerRun(100, op); avg != 0 {
+		t.Fatalf("fan-in path allocates %.2f/op, want 0", avg)
+	}
+}

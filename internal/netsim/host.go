@@ -74,6 +74,10 @@ func (h *Host) End() sim.Time { return h.net.end }
 // After schedules fn d from now.
 func (h *Host) After(d sim.Time, fn func()) *sim.Timer { return h.net.env.After(d, fn) }
 
+// Post schedules fn d from now without a cancellation handle (implements
+// tcpstack.Transport's cheap timer primitive).
+func (h *Host) Post(d sim.Time, fn func()) { h.net.env.Post(h.net.env.Now()+d, fn) }
+
 // At schedules fn at absolute time t.
 func (h *Host) At(t sim.Time, fn func()) *sim.Timer { return h.net.env.At(t, fn) }
 
@@ -102,37 +106,42 @@ func (h *Host) BindUDP(port uint16, fn UDPHandler) {
 }
 
 // SendUDP transmits a datagram. payload carries the semantic bytes; virtual
-// adds synthetic payload size.
+// adds synthetic payload size. The frame comes from the network's pool and
+// takes a pooled copy of payload, so handlers may echo their received
+// payload slice even though the frame backing it is recycled when the
+// handler returns.
 func (h *Host) SendUDP(dst proto.IP, srcPort, dstPort uint16, payload []byte, virtual int) {
-	f := &proto.Frame{
-		Eth: proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac},
-		IP: proto.IPv4{
-			Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP,
-		},
-		UDP:            proto.UDP{SrcPort: srcPort, DstPort: dstPort},
-		Payload:        payload,
-		VirtualPayload: virtual,
-	}
+	f := h.net.pool.Get()
+	f.Eth = proto.Ethernet{Dst: proto.MACFromID(uint32(dst)), Src: h.mac}
+	f.IP = proto.IPv4{Src: h.ip, Dst: dst, Proto: proto.IPProtoUDP}
+	f.UDP = proto.UDP{SrcPort: srcPort, DstPort: dstPort}
+	f.CopyPayload(payload)
+	f.VirtualPayload = virtual
 	f.Seal()
 	h.transmit(f)
 }
 
-// transmit pushes a sealed frame onto the host link.
+// NewFrame implements tcpstack.Transport: segments the TCP stack builds on
+// this host come from the network's frame pool.
+func (h *Host) NewFrame() *proto.Frame { return h.net.pool.Get() }
+
+// transmit pushes a sealed frame onto the host link, transferring ownership.
 func (h *Host) transmit(f *proto.Frame) {
 	if h.iface == nil {
 		panic("netsim: host " + h.name + " not connected")
 	}
 	h.TxPackets++
-	h.net.cost.Charge(CostPerHostPacketNs)
 	h.iface.Enqueue(f)
 }
 
-// receive implements node.
+// receive implements node. The host is a terminal sink: after the handler
+// or TCP input returns — neither retains the frame or its payload — the
+// frame goes back to its pool.
 func (h *Host) receive(_ *Iface, f *proto.Frame) {
 	h.RxPackets++
-	h.net.cost.Charge(CostPerHostPacketNs)
 	if f.IP.Dst != h.ip {
-		return // mis-delivered; drop silently like a real NIC without promisc
+		f.Release() // mis-delivered; drop silently like a real NIC without promisc
+		return
 	}
 	switch f.IP.Proto {
 	case proto.IPProtoUDP:
@@ -145,4 +154,5 @@ func (h *Host) receive(_ *Iface, f *proto.Frame) {
 			c.Input(f)
 		}
 	}
+	f.Release()
 }

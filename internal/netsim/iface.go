@@ -39,6 +39,39 @@ type Iface struct {
 	// Statistics.
 	TxPackets, TxBytes uint64
 	Drops, Marks       uint64
+
+	// enqSink and rxSink are the typed-delivery sinks for the two scheduled
+	// hops a frame takes through this interface: the switch pipeline delay
+	// before Enqueue, and the propagation delay before the peer receives.
+	// Embedded by value so the forwarding path allocates nothing.
+	enqSink ifaceEnqSink
+	rxSink  ifaceRxSink
+}
+
+// ifaceEnqSink runs the switch-pipeline arrival: enqueue on the egress
+// interface, then transparent-clock residence accounting.
+type ifaceEnqSink struct{ i *Iface }
+
+// Deliver implements core.Sink. at is the pipeline-arrival instant (the
+// closure-based predecessor read env.Now() here, which equals at).
+func (k *ifaceEnqSink) Deliver(at sim.Time, m sim.Payload) {
+	i := k.i
+	f := m.(*proto.Frame)
+	depart := i.Enqueue(f)
+	if depart >= 0 {
+		if sw, ok := i.owner.(*Switch); ok && sw.TransparentClock {
+			sw.addResidence(f, depart-at+i.net.SwitchLatency)
+		}
+	}
+}
+
+// ifaceRxSink runs the propagation arrival: the owning node receives the
+// frame from this interface.
+type ifaceRxSink struct{ i *Iface }
+
+// Deliver implements core.Sink.
+func (k *ifaceRxSink) Deliver(_ sim.Time, m sim.Payload) {
+	k.i.owner.receive(k.i, m.(*proto.Frame))
 }
 
 // Name returns the interface name ("a->b").
@@ -111,7 +144,8 @@ func (i *Iface) QueueDelay(now sim.Time) sim.Time {
 // Enqueue places f on the output queue. It returns the departure time
 // (when the last bit leaves the interface) or -1 when the packet is
 // dropped. Marking and dropping happen here, at enqueue, on the
-// instantaneous backlog.
+// instantaneous backlog. Enqueue owns the frame: dropped frames are
+// released, accepted frames travel on to the peer (or external port).
 func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
 	env := i.net.env
 	now := env.Now()
@@ -119,6 +153,7 @@ func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
 	size := f.WireLen()
 	if i.QueueCapBytes > 0 && backlog+size > i.QueueCapBytes {
 		i.Drops++
+		f.Release()
 		return -1
 	}
 	ect := f.IP.ECN() == proto.ECNECT0 || f.IP.ECN() == proto.ECNECT1
@@ -126,6 +161,7 @@ func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
 		switch i.redDecide(backlog, ect) {
 		case redDrop:
 			i.Drops++
+			f.Release()
 			return -1
 		case redMark:
 			f.IP = f.IP.WithECN(proto.ECNCE)
@@ -148,11 +184,9 @@ func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
 	i.TxBytes += uint64(size)
 
 	if i.ext != nil {
-		p := i.ext
-		env.At(depart, func() { p.sendOut(f) })
+		env.PostDelivery(depart, &i.ext.outSink, f)
 		return depart
 	}
-	peer := i.peer
-	env.At(depart+i.delay, func() { peer.owner.receive(peer, f) })
+	env.PostDelivery(depart+i.delay, &i.peer.rxSink, f)
 	return depart
 }

@@ -52,6 +52,16 @@ type Network struct {
 	hosts    []*Host
 	exts     []*ExtPort
 
+	// pool recycles frames and their payload buffers; every frame the
+	// network originates (SendUDP, TCP segments) or decodes at an external
+	// port comes from here, and every terminal sink returns frames to it.
+	pool proto.FramePool
+
+	// encRx/encTx count frames decoded from / encoded onto partition
+	// boundaries; the lazy Cost() recomputation charges them at
+	// CostPerBoundaryPacketNs each.
+	encRx, encTx uint64
+
 	// SwitchLatency is the per-switch pipeline delay applied to every
 	// forwarded packet.
 	SwitchLatency sim.Time
@@ -93,8 +103,30 @@ func (n *Network) End() sim.Time { return n.end }
 // Env returns the component environment (valid after Attach).
 func (n *Network) Env() core.Env { return n.env }
 
-// Cost implements core.Coster.
-func (n *Network) Cost() *core.CostAccount { return &n.cost }
+// Cost implements core.Coster. The account is refreshed lazily from the
+// packet counters — Σ switch receives × CostPerSwitchPacketNs + Σ host
+// sends/receives × CostPerHostPacketNs + boundary crossings ×
+// CostPerBoundaryPacketNs — instead of charging in the per-packet inner
+// loops; callers must read BusyNanos right after Cost().
+func (n *Network) Cost() *core.CostAccount {
+	var total uint64
+	for _, s := range n.switches {
+		total += s.RxPackets * CostPerSwitchPacketNs
+	}
+	for _, h := range n.hosts {
+		total += (h.TxPackets + h.RxPackets) * CostPerHostPacketNs
+	}
+	total += (n.encRx + n.encTx) * CostPerBoundaryPacketNs
+	n.cost.Store(total)
+	return &n.cost
+}
+
+// NewFrame returns a zeroed pooled frame owned by the caller; handing it to
+// the stack (transmit, Inject) transfers ownership back to the simulator.
+func (n *Network) NewFrame() *proto.Frame { return n.pool.Get() }
+
+// FrameStats implements core.FramePooler.
+func (n *Network) FrameStats() proto.PoolStats { return n.pool.Stats() }
 
 // Rand returns the network's deterministic random source.
 func (n *Network) Rand() *sim.Rand { return n.rng }
@@ -136,7 +168,10 @@ func (n *Network) AddHost(name string, ip proto.IP) *Host {
 
 // newIface wires a fresh interface owned by o.
 func (n *Network) newIface(o node, name string, rate int64, delay sim.Time) *Iface {
-	return &Iface{net: n, owner: o, name: name, rate: rate, delay: delay}
+	i := &Iface{net: n, owner: o, name: name, rate: rate, delay: delay}
+	i.enqSink.i = i
+	i.rxSink.i = i
+	return i
 }
 
 // ConnectHostSwitch links host h to switch s with a full-duplex link of the
@@ -151,6 +186,7 @@ func (n *Network) ConnectHostSwitch(h *Host, s *Switch, rate int64, delay sim.Ti
 	}
 	h.iface = hi
 	s.ifaces = append(s.ifaces, si)
+	s.invalidateFlowCache()
 	return len(s.ifaces) - 1
 }
 
@@ -161,6 +197,8 @@ func (n *Network) ConnectSwitches(a, b *Switch, rate int64, delay sim.Time) (ai,
 	ia.peer, ib.peer = ib, ia
 	a.ifaces = append(a.ifaces, ia)
 	b.ifaces = append(b.ifaces, ib)
+	a.invalidateFlowCache()
+	b.invalidateFlowCache()
 	return len(a.ifaces) - 1, len(b.ifaces) - 1
 }
 
@@ -183,6 +221,19 @@ type ExtPort struct {
 
 	// RxFrames counts frames delivered from the external side.
 	RxFrames uint64
+
+	// outSink is the typed-delivery sink for this port's departure events
+	// (see Iface.Enqueue): one queue slot per departing frame, no closure.
+	outSink extOutSink
+}
+
+// extOutSink hands departed frames to ExtPort.sendOut from a typed delivery
+// event.
+type extOutSink struct{ p *ExtPort }
+
+// Deliver implements core.Sink.
+func (k *extOutSink) Deliver(_ sim.Time, m core.Message) {
+	k.p.sendOut(m.(*proto.Frame))
 }
 
 // AddExternal creates an external port on switch s. The link's serialization
@@ -191,10 +242,12 @@ type ExtPort struct {
 // ComputeRoutes.
 func (n *Network) AddExternal(s *Switch, name string, rate int64, ips ...proto.IP) *ExtPort {
 	p := &ExtPort{net: n, name: name, sw: s, ips: ips}
+	p.outSink.p = p
 	ifc := n.newIface(s, s.name+"->"+name, rate, 0)
 	ifc.ext = p
 	p.iface = ifc
 	s.ifaces = append(s.ifaces, ifc)
+	s.invalidateFlowCache()
 	n.exts = append(n.exts, p)
 	return p
 }
@@ -210,19 +263,29 @@ func (p *ExtPort) Iface() *Iface { return p.iface }
 func (p *ExtPort) IPs() []proto.IP { return p.ips }
 
 // Deliver implements core.Sink: a frame (or encoded frame) arrives from the
-// external component and enters the switch.
+// external component and enters the switch. Decoded frames come from the
+// network's pool and adopt the incoming wire buffer, so the boundary receive
+// path allocates nothing in steady state.
 func (p *ExtPort) Deliver(_ sim.Time, m core.Message) {
 	var f *proto.Frame
 	switch v := m.(type) {
 	case *proto.Frame:
 		f = v
-	case proto.RawFrame:
-		var err error
-		f, err = proto.ParseFrame(v)
-		if err != nil {
+	case *proto.WireFrame:
+		f = p.net.pool.Get()
+		if err := proto.ParseFrameInto(f, v.B); err != nil {
 			panic(fmt.Sprintf("netsim: %s: bad frame from external port: %v", p.name, err))
 		}
-		p.net.cost.Charge(CostPerBoundaryPacketNs)
+		proto.PutWireFrame(v)
+		p.net.encRx++
+	case proto.RawFrame:
+		// Legacy byte path (proxy transports, tests). The sender built the
+		// slice fresh for this message, so the frame adopts it directly.
+		f = p.net.pool.Get()
+		if err := proto.ParseFrameInto(f, v); err != nil {
+			panic(fmt.Sprintf("netsim: %s: bad frame from external port: %v", p.name, err))
+		}
+		p.net.encRx++
 	default:
 		panic(fmt.Sprintf("netsim: %s: unexpected message %T", p.name, m))
 	}
@@ -231,14 +294,17 @@ func (p *ExtPort) Deliver(_ sim.Time, m core.Message) {
 }
 
 // sendOut transmits a frame to the external component, serializing it to
-// honest bytes when this port is a partition boundary.
+// honest bytes when this port is a partition boundary. Encoding reuses a
+// pooled buffer and releases the frame; without encoding, frame ownership
+// transfers with the message.
 func (p *ExtPort) sendOut(f *proto.Frame) {
 	if p.out == nil {
 		panic("netsim: external port " + p.name + " not bound")
 	}
 	if p.encode {
-		p.net.cost.Charge(CostPerBoundaryPacketNs)
-		p.out.Send(proto.RawFrame(proto.AppendFrame(nil, f)))
+		p.net.encTx++
+		p.out.Send(proto.GetWireFrame(proto.AppendFrame(p.net.pool.GetBuf(), f)))
+		f.Release()
 		return
 	}
 	p.out.Send(f)

@@ -17,6 +17,18 @@ type Dataplane interface {
 	Process(sw *Switch, in *Iface, f *proto.Frame) (forward bool)
 }
 
+// flowCacheSize is the number of direct-mapped flow-cache entries per
+// switch. Power of two; sized for the handful of hot destinations a switch
+// port typically serves between topology changes.
+const flowCacheSize = 8
+
+// flowEntry is one flow-cache slot: the last next-hop resolved for ip.
+type flowEntry struct {
+	ip  proto.IP
+	out int32
+	ok  bool
+}
+
 // Switch is an output-queued IP switch with static routes, an optional
 // programmable dataplane, and optional PTP transparent-clock support.
 type Switch struct {
@@ -24,6 +36,11 @@ type Switch struct {
 	name   string
 	ifaces []*Iface
 	routes map[proto.IP]int
+
+	// fcache short-circuits the routes map on the forwarding hot path. It
+	// is a pure cache over routes — lookups through it are behavior-
+	// identical to the map — and every topology or route mutation clears it.
+	fcache [flowCacheSize]flowEntry
 
 	// Dataplane, when non-nil, processes every received frame.
 	Dataplane Dataplane
@@ -38,6 +55,8 @@ type Switch struct {
 	RxPackets uint64
 	// NoRoute counts frames dropped for want of a route.
 	NoRoute uint64
+	// FlowCacheHits counts forwarding decisions served from fcache.
+	FlowCacheHits uint64
 }
 
 // Name returns the switch name.
@@ -57,6 +76,7 @@ func (s *Switch) SetRoute(ip proto.IP, out int) {
 		panic(fmt.Sprintf("netsim: %s: route to %v via invalid iface %d", s.name, ip, out))
 	}
 	s.routes[ip] = out
+	s.invalidateFlowCache()
 }
 
 // Route returns the next-hop interface index for ip.
@@ -65,35 +85,53 @@ func (s *Switch) Route(ip proto.IP) (int, bool) {
 	return out, ok
 }
 
-// receive implements node.
+// lookup resolves the next hop for ip through the flow cache, falling back
+// to (and refilling from) the routes map on a miss.
+func (s *Switch) lookup(ip proto.IP) (int, bool) {
+	e := &s.fcache[uint32(ip)&(flowCacheSize-1)]
+	if e.ok && e.ip == ip {
+		s.FlowCacheHits++
+		return int(e.out), true
+	}
+	out, ok := s.routes[ip]
+	if ok {
+		*e = flowEntry{ip: ip, out: int32(out), ok: true}
+	}
+	return out, ok
+}
+
+// invalidateFlowCache clears every cached forwarding decision. Called on any
+// mutation that could change a next hop: SetRoute and interface additions.
+func (s *Switch) invalidateFlowCache() {
+	s.fcache = [flowCacheSize]flowEntry{}
+}
+
+// receive implements node. The switch owns the frame: a dataplane that
+// consumes it (Process returning false) must not retain it — the switch
+// releases it on return.
 func (s *Switch) receive(in *Iface, f *proto.Frame) {
 	s.RxPackets++
-	s.net.cost.Charge(CostPerSwitchPacketNs)
 	if s.Dataplane != nil {
 		if !s.Dataplane.Process(s, in, f) {
+			f.Release()
 			return
 		}
 	}
 	s.forward(in, f)
 }
 
-// forward routes f out of the switch, applying the pipeline latency.
+// forward routes f out of the switch, applying the pipeline latency. The
+// pipeline hop is a typed delivery event onto the egress interface's enqueue
+// sink — no closure, no Timer.
 func (s *Switch) forward(in *Iface, f *proto.Frame) {
-	out, ok := s.routes[f.IP.Dst]
+	out, ok := s.lookup(f.IP.Dst)
 	if !ok {
 		s.NoRoute++
+		f.Release()
 		return
 	}
-	ifc := s.ifaces[out]
-	lat := s.net.SwitchLatency
 	env := s.net.env
-	env.At(env.Now()+lat, func() {
-		arrive := env.Now()
-		depart := ifc.Enqueue(f)
-		if depart >= 0 && s.TransparentClock {
-			s.addResidence(f, depart-arrive+lat)
-		}
-	})
+	env.PostDelivery(env.Now()+s.net.SwitchLatency, &s.ifaces[out].enqSink, f)
 }
 
 // Inject sends a locally generated frame out the route for its destination,

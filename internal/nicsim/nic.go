@@ -64,9 +64,18 @@ type NIC struct {
 
 	txBusyUntil sim.Time
 
-	// interrupt-moderation state
-	rxBatch   []pci.RxPacket
-	rxFlushAt *sim.Timer
+	// curBatch is the interrupt-moderation batch currently accumulating;
+	// its flush event is already scheduled. nil when no batch is open.
+	curBatch *pci.RxBatch
+
+	// freeTx recycles the per-frame transmit descriptors parked in the
+	// scheduler between doorbell and wire departure.
+	freeTx []*txPend
+
+	// txSink and rxSink are the typed-delivery sinks for wire departure and
+	// DMA-complete events — one queue slot per event, no closures.
+	txSink nicTxSink
+	rxSink nicRxSink
 
 	// PHC state: hardware clock = offset + trueTime*(1+drift) plus a
 	// frequency correction that only applies from phcBase forward (a servo
@@ -91,7 +100,54 @@ const (
 
 // New creates a NIC.
 func New(name string, p Params) *NIC {
-	return &NIC{name: name, p: p}
+	n := &NIC{name: name, p: p}
+	n.txSink.n = n
+	n.rxSink.n = n
+	return n
+}
+
+// txPend is a frame between doorbell and wire departure, parked in the
+// scheduler as a typed delivery payload.
+type txPend struct {
+	frame []byte
+	id    uint64
+	stamp bool
+}
+
+// Size implements core.Message.
+func (p *txPend) Size() int { return len(p.frame) }
+
+// nicTxSink handles wire-departure events: the frame goes out the Ethernet
+// port and the completion goes back over PCI.
+type nicTxSink struct{ n *NIC }
+
+// Deliver implements core.Sink.
+func (k *nicTxSink) Deliver(at sim.Time, m core.Message) {
+	n := k.n
+	p := m.(*txPend)
+	n.netPort.Send(proto.GetWireFrame(p.frame))
+	d := pci.GetTxDone()
+	d.ID = p.id
+	if p.stamp {
+		d.HWTime = n.PHC(at)
+	}
+	n.hostPort.Send(d)
+	p.frame = nil
+	n.freeTx = append(n.freeTx, p)
+}
+
+// nicRxSink handles DMA-complete events: the accumulated batch crosses the
+// PCI channel in one message.
+type nicRxSink struct{ n *NIC }
+
+// Deliver implements core.Sink.
+func (k *nicRxSink) Deliver(_ sim.Time, m core.Message) {
+	n := k.n
+	b := m.(*pci.RxBatch)
+	if b == n.curBatch {
+		n.curBatch = nil
+	}
+	n.hostPort.Send(b)
 }
 
 // Name implements core.Component.
@@ -153,6 +209,12 @@ func (n *NIC) NetSink() core.Sink { return core.SinkFunc(n.fromNet) }
 // fromHost handles PCI messages from the host.
 func (n *NIC) fromHost(at sim.Time, m core.Message) {
 	switch msg := m.(type) {
+	case *pci.TxBatch:
+		for i := range msg.Subs {
+			n.cost.Charge(CostPerPacketNs)
+			n.transmit(msg.Subs[i])
+		}
+		pci.PutTxBatch(msg)
 	case pci.TxSubmit:
 		n.cost.Charge(CostPerPacketNs)
 		n.transmit(msg)
@@ -177,42 +239,49 @@ func (n *NIC) transmit(msg pci.TxSubmit) {
 	depart := start + sim.TransmitTime(proto.RawWireLen(msg.Frame), n.p.Rate)
 	n.txBusyUntil = depart
 	n.TxFrames++
-	frame := msg.Frame
-	id := msg.ID
-	stamp := msg.Timestamp
-	n.env.At(depart, func() {
-		n.netPort.Send(proto.RawFrame(frame))
-		done := pci.TxDone{ID: id}
-		if stamp {
-			done.HWTime = n.PHC(n.env.Now())
-		}
-		n.hostPort.Send(done)
-	})
+	var p *txPend
+	if k := len(n.freeTx); k > 0 {
+		p = n.freeTx[k-1]
+		n.freeTx = n.freeTx[:k-1]
+	} else {
+		p = &txPend{}
+	}
+	p.frame, p.id, p.stamp = msg.Frame, msg.ID, msg.Timestamp
+	n.env.PostDelivery(depart, &n.txSink, p)
 }
 
 // fromNet handles frames arriving on the wire: timestamp at arrival, DMA to
-// host memory, deliver RxPacket.
+// host memory, deliver an RxBatch.
+//
+// Without moderation every frame ships in its own single-entry batch: two
+// frames can arrive in distinct same-instant events with an unrelated NIC
+// event (say a TxDone) ordered between their DMA completions, so coalescing
+// them would reorder the PCI stream. With moderation the old code emitted
+// the whole batch as consecutive sends from one flush event — nothing could
+// interleave — so a single multi-frame message is exactly order-preserving.
 func (n *NIC) fromNet(at sim.Time, m core.Message) {
 	n.cost.Charge(CostPerPacketNs)
 	n.RxFrames++
-	frame, ok := m.(proto.RawFrame)
-	if !ok {
-		panic("nicsim: expected proto.RawFrame on the wire")
+	var frame []byte
+	switch v := m.(type) {
+	case *proto.WireFrame:
+		frame = v.B
+		proto.PutWireFrame(v)
+	case proto.RawFrame:
+		frame = v
+	default:
+		panic("nicsim: expected an encoded frame on the wire")
 	}
-	hw := n.PHC(n.env.Now())
-	pkt := pci.RxPacket{Frame: frame, HWTime: hw}
+	pkt := pci.RxPacket{Frame: frame, HWTime: n.PHC(at)}
 	if n.p.IRQModeration <= 0 {
-		n.env.After(n.p.RxDMA, func() { n.hostPort.Send(pkt) })
+		b := pci.GetRxBatch()
+		b.Pkts = append(b.Pkts, pkt)
+		n.env.PostDelivery(at+n.p.RxDMA, &n.rxSink, b)
 		return
 	}
-	n.rxBatch = append(n.rxBatch, pkt)
-	if n.rxFlushAt == nil || !n.rxFlushAt.Pending() {
-		n.rxFlushAt = n.env.After(n.p.IRQModeration+n.p.RxDMA, func() {
-			batch := n.rxBatch
-			n.rxBatch = nil
-			for _, m := range batch {
-				n.hostPort.Send(m)
-			}
-		})
+	if n.curBatch == nil {
+		n.curBatch = pci.GetRxBatch()
+		n.env.PostDelivery(at+n.p.IRQModeration+n.p.RxDMA, &n.rxSink, n.curBatch)
 	}
+	n.curBatch.Pkts = append(n.curBatch.Pkts, pkt)
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package nicsim_test
+
+// raceEnabled is off in regular builds; see race_enabled_test.go.
+const raceEnabled = false

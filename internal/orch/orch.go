@@ -15,6 +15,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/link"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Side describes one end of a connection: the owning component (which
@@ -220,7 +221,36 @@ func (s *Simulation) RunSequential(end sim.Time) *sim.Scheduler {
 		}
 		sched.Step()
 	}
+	// Frames still in flight at end (queued, in a link, mid-DMA) go back to
+	// their pools so the leak counters read zero after every run.
+	sched.DiscardPending(core.ReleaseMessage)
 	return sched
+}
+
+// LiveFrames sums the outstanding pooled frames across all components —
+// zero after a clean run plus end-of-run sweep, so tests and harnesses can
+// assert the packet path leaks nothing.
+func (s *Simulation) LiveFrames() uint64 {
+	var n uint64
+	for _, c := range s.comps {
+		if fp, ok := c.(core.FramePooler); ok {
+			n += fp.FrameStats().Live
+		}
+	}
+	return n
+}
+
+// FrameStatsTable renders per-component frame-pool health (allocations,
+// reuses, still-live frames) for components that own a pool.
+func (s *Simulation) FrameStatsTable() *stats.Table {
+	t := stats.NewTable("component", "frame_allocs", "frame_reuses", "frames_live")
+	for _, c := range s.comps {
+		if fp, ok := c.(core.FramePooler); ok {
+			st := fp.FrameStats()
+			t.Row(c.Name(), st.Allocs, st.Reuses, st.Live)
+		}
+	}
+	return t
 }
 
 // RunCoupled executes the simulation with one runner (goroutine +

@@ -239,7 +239,14 @@ func (pl *ExecutionPlan) Run(end sim.Time) error {
 	if s.PreRun != nil {
 		s.PreRun(g)
 	}
-	return g.Run(end)
+	err := g.Run(end)
+	// All runner goroutines have joined; sweep every scheduler so frames
+	// still in flight at end return to their pools (leak counters read
+	// zero after every run, any placement).
+	for _, sc := range scheds {
+		sc.DiscardPending(core.ReleaseMessage)
+	}
+	return err
 }
 
 // ModelGraph folds the simulation's per-component model graph to the

@@ -5,7 +5,11 @@
 // completions, and PTP hardware-clock reads.
 package pci
 
-import "repro/internal/sim"
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
 
 // TxSubmit is a host-to-NIC transmit doorbell: the frame has been placed in
 // a descriptor ring and is ready for DMA.
@@ -59,3 +63,84 @@ func (m PHCValue) Size() int { return 16 }
 // DefaultLatency is the PCI channel latency used throughout (the SimBricks
 // default of 500 ns).
 const DefaultLatency = 500 * sim.Nanosecond
+
+// TxBatch carries one or more TxSubmit descriptors in a single channel
+// message — one doorbell write covering a ring's worth of descriptors.
+// Batches are pooled: the receiver returns them with PutTxBatch after
+// draining Subs. The pools below are sync.Pools (not per-component free
+// lists) because the PCI channel crosses runner goroutines in coupled runs.
+type TxBatch struct {
+	Subs []TxSubmit
+}
+
+// Size implements core.Message.
+func (b *TxBatch) Size() int {
+	n := 0
+	for i := range b.Subs {
+		n += b.Subs[i].Size()
+	}
+	return n
+}
+
+// Count implements link.MultiMessage: a batch occupies one event but counts
+// as len(Subs) messages for channel accounting.
+func (b *TxBatch) Count() int { return len(b.Subs) }
+
+var txBatchPool = sync.Pool{New: func() interface{} { return new(TxBatch) }}
+
+// GetTxBatch returns an empty pooled batch.
+func GetTxBatch() *TxBatch { return txBatchPool.Get().(*TxBatch) }
+
+// PutTxBatch recycles a drained batch, dropping frame references.
+func PutTxBatch(b *TxBatch) {
+	for i := range b.Subs {
+		b.Subs[i] = TxSubmit{}
+	}
+	b.Subs = b.Subs[:0]
+	txBatchPool.Put(b)
+}
+
+// RxBatch carries the frames of one interrupt: every packet DMA'd before
+// the IRQ fires crosses in a single message. The receiver returns the batch
+// with PutRxBatch after draining Pkts.
+type RxBatch struct {
+	Pkts []RxPacket
+}
+
+// Size implements core.Message.
+func (b *RxBatch) Size() int {
+	n := 0
+	for i := range b.Pkts {
+		n += b.Pkts[i].Size()
+	}
+	return n
+}
+
+// Count implements link.MultiMessage.
+func (b *RxBatch) Count() int { return len(b.Pkts) }
+
+var rxBatchPool = sync.Pool{New: func() interface{} { return new(RxBatch) }}
+
+// GetRxBatch returns an empty pooled batch.
+func GetRxBatch() *RxBatch { return rxBatchPool.Get().(*RxBatch) }
+
+// PutRxBatch recycles a drained batch, dropping frame references.
+func PutRxBatch(b *RxBatch) {
+	for i := range b.Pkts {
+		b.Pkts[i] = RxPacket{}
+	}
+	b.Pkts = b.Pkts[:0]
+	rxBatchPool.Put(b)
+}
+
+var txDonePool = sync.Pool{New: func() interface{} { return new(TxDone) }}
+
+// GetTxDone returns a pooled completion; the receiver returns it with
+// PutTxDone after reading its fields.
+func GetTxDone() *TxDone { return txDonePool.Get().(*TxDone) }
+
+// PutTxDone recycles a consumed completion.
+func PutTxDone(d *TxDone) {
+	*d = TxDone{}
+	txDonePool.Put(d)
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/proxy"
 	"repro/internal/sim"
@@ -46,9 +47,13 @@ type AdapterSample struct {
 
 // Sample is one periodic snapshot for one simulator component.
 type Sample struct {
-	Sim      string
-	WallNs   uint64
-	Virt     sim.Time
+	Sim    string
+	WallNs uint64
+	Virt   sim.Time
+	// Frames is the number of pooled frames live (taken from pools, not
+	// yet released) across the runner's components at sample time — the
+	// packet-path leak indicator.
+	Frames   uint64
 	Adapters []AdapterSample
 }
 
@@ -77,6 +82,11 @@ func (c *Collector) Attach(g *link.Group, interval sim.Time) {
 				Sim:    r.Name(),
 				WallNs: uint64(time.Since(c.start).Nanoseconds()),
 				Virt:   r.Scheduler().Now(),
+			}
+			for _, comp := range r.Components() {
+				if fp, ok := comp.(core.FramePooler); ok {
+					s.Frames += fp.FrameStats().Live
+				}
 			}
 			for _, e := range r.Endpoints() {
 				s.Adapters = append(s.Adapters, AdapterSample{
@@ -126,14 +136,14 @@ func (c *Collector) Transports() []TransportSample {
 
 // WriteTo emits the samples as text log lines, one adapter per line:
 //
-//	splitsim-prof sim=<name> wall=<ns> virt=<ps> ep=<label> peer=<sim>
-//	  wait=<ns> proc=<ns> depth=<n> txd=<n> txs=<n> rxd=<n> rxs=<n>
+//	splitsim-prof sim=<name> wall=<ns> virt=<ps> frames=<n> ep=<label>
+//	  peer=<sim> wait=<ns> proc=<ns> depth=<n> txd=<n> txs=<n> rxd=<n> rxs=<n>
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, s := range c.Samples() {
 		if len(s.Adapters) == 0 {
-			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d\n",
-				s.Sim, s.WallNs, int64(s.Virt))
+			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d frames=%d\n",
+				s.Sim, s.WallNs, int64(s.Virt), s.Frames)
 			total += int64(n)
 			if err != nil {
 				return total, err
@@ -141,8 +151,8 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 		}
 		for _, a := range s.Adapters {
 			n, err := fmt.Fprintf(w,
-				"splitsim-prof sim=%s wall=%d virt=%d ep=%s peer=%s wait=%d proc=%d depth=%d txd=%d txs=%d rxd=%d rxs=%d\n",
-				s.Sim, s.WallNs, int64(s.Virt), a.Label, a.Peer,
+				"splitsim-prof sim=%s wall=%d virt=%d frames=%d ep=%s peer=%s wait=%d proc=%d depth=%d txd=%d txs=%d rxd=%d rxs=%d\n",
+				s.Sim, s.WallNs, int64(s.Virt), s.Frames, a.Label, a.Peer,
 				a.WaitNanos, a.ProcNanos, a.PeakDepth, a.TxData, a.TxSync, a.RxData, a.RxSync)
 			total += int64(n)
 			if err != nil {
@@ -227,6 +237,13 @@ func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 			return nil, nil, fmt.Errorf("profiler: bad virt %q", kv["virt"])
 		}
 		s.Virt = sim.Time(virt)
+		// frames= was added after the first log format; logs written before
+		// it parse with a zero frame count.
+		if v, hasFrames := kv["frames"]; hasFrames {
+			if _, err := fmt.Sscanf(v, "%d", &s.Frames); err != nil {
+				return nil, nil, fmt.Errorf("profiler: bad frames %q", v)
+			}
+		}
 		key := fmt.Sprintf("%s/%d/%d", s.Sim, s.WallNs, virt)
 		i, ok := idx[key]
 		if !ok {
@@ -234,6 +251,7 @@ func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 			idx[key] = i
 			out = append(out, s)
 		}
+		out[i].Frames = s.Frames
 		if ep, hasEp := kv["ep"]; hasEp {
 			a := AdapterSample{Label: ep, Peer: kv["peer"]}
 			parse := func(name string, dst *uint64) error {

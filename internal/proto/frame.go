@@ -16,6 +16,14 @@ type Frame struct {
 
 	Payload        []byte
 	VirtualPayload int
+
+	// Pooling state (see FramePool). buf is the adopted backing buffer the
+	// Payload aliases into; pool is the owning free list; live guards
+	// against double release. All three are zero for frames built with
+	// struct literals.
+	buf  []byte
+	pool *FramePool
+	live bool
 }
 
 // l4Len returns the encoded transport header length.
@@ -77,39 +85,59 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 	return append(dst, f.Payload...)
 }
 
-// ParseFrame decodes a frame produced by AppendFrame.
+// ParseFrame decodes a frame produced by AppendFrame. The returned frame's
+// Payload aliases b — the caller hands the buffer over rather than paying
+// the copy the old decoder made; callers that mutate b afterwards must copy
+// first.
 func ParseFrame(b []byte) (*Frame, error) {
 	f := &Frame{}
+	if err := ParseFrameInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseFrameInto decodes into f, aliasing f.Payload into b with no copy.
+// Ownership of b transfers to the frame: a pooled f adopts b and returns it
+// to its pool on Release (even when parsing fails, so error paths need only
+// release the frame). f's previously parsed fields are overwritten; Payload
+// and VirtualPayload are reset explicitly since a pooled frame may carry
+// stale values on the error paths below.
+func ParseFrameInto(f *Frame, b []byte) error {
+	f.buf = b
+	f.Payload = nil
+	f.VirtualPayload = 0
 	var err error
 	var rest []byte
 	if f.Eth, rest, err = ParseEthernet(b); err != nil {
-		return nil, err
+		return err
 	}
 	if f.Eth.EtherType != EtherTypeIPv4 {
-		return f, nil // non-IP frame: opaque
+		f.IP = IPv4{}
+		return nil // non-IP frame: opaque
 	}
 	if f.IP, rest, err = ParseIPv4(rest); err != nil {
-		return nil, err
+		return err
 	}
 	switch f.IP.Proto {
 	case IPProtoUDP:
 		if f.UDP, rest, err = ParseUDP(rest); err != nil {
-			return nil, err
+			return err
 		}
 	case IPProtoTCP:
 		if f.TCP, rest, err = ParseTCP(rest); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(rest) > 0 {
-		f.Payload = append([]byte(nil), rest...)
+		f.Payload = rest
 	}
 	total := int(f.IP.TotalLen) - IPv4Len - f.l4Len()
 	if total < len(f.Payload) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	f.VirtualPayload = total - len(f.Payload)
-	return f, nil
+	return nil
 }
 
 // RawFrame is a serialized Ethernet frame traveling between simulator
@@ -132,11 +160,31 @@ func RawWireLen(b []byte) int {
 	return len(b)
 }
 
+// CopyPayload points the frame's Payload at a private copy of p so the
+// frame does not retain the caller's slice — p may alias another frame's
+// pooled buffer that gets recycled before this frame is delivered. Pooled
+// frames copy into a pooled buffer (returned on Release); pool-less frames
+// fall back to a plain allocation.
+func (f *Frame) CopyPayload(p []byte) {
+	if len(p) == 0 {
+		f.Payload = nil
+		return
+	}
+	if f.pool != nil {
+		f.buf = append(f.pool.GetBuf(), p...)
+		f.Payload = f.buf
+	} else {
+		f.Payload = append([]byte(nil), p...)
+	}
+}
+
 // Clone returns a deep copy of the frame. Switches that modify headers
 // (ECN marking, TTL, PTP correction) operate on their own copy so that
-// fan-out does not alias.
+// fan-out does not alias. The clone is pool-less regardless of the
+// original: its Release is a no-op and the GC reclaims it.
 func (f *Frame) Clone() *Frame {
 	g := *f
+	g.buf, g.pool, g.live = nil, nil, false
 	if f.Payload != nil {
 		g.Payload = append([]byte(nil), f.Payload...)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package proto
+
+// poolDebug is off in regular builds; see pooldebug_race.go.
+const poolDebug = false
+
+func poisonBuf([]byte) {}

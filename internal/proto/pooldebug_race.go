@@ -1,0 +1,16 @@
+//go:build race
+
+package proto
+
+// poolDebug enables the pool's debug checks in -race builds: released
+// payload buffers are poisoned so a component that keeps reading an adopted
+// payload after releasing the frame sees garbage immediately instead of
+// silently reading whatever the pool's next tenant wrote.
+const poolDebug = true
+
+func poisonBuf(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0xDD
+	}
+}

@@ -49,11 +49,16 @@ type RawFrameCodec struct{}
 
 // Encode implements Codec.
 func (RawFrameCodec) Encode(m core.Message) ([]byte, error) {
-	f, ok := m.(proto.RawFrame)
-	if !ok {
-		return nil, fmt.Errorf("proxy: expected RawFrame, got %T", m)
+	switch f := m.(type) {
+	case proto.RawFrame:
+		return f, nil
+	case *proto.WireFrame:
+		// The wrapper is not recycled here: it crossed a goroutine boundary
+		// to reach the proxy, and the bytes outlive this call on the wire.
+		return f.B, nil
+	default:
+		return nil, fmt.Errorf("proxy: expected an encoded frame, got %T", m)
 	}
-	return f, nil
 }
 
 // Decode implements Codec.

@@ -220,6 +220,30 @@ func (s *Scheduler) Run() uint64 {
 	return n
 }
 
+// DiscardPending drains every still-queued event without executing it and
+// returns how many were dropped. For typed delivery events the payload is
+// handed to fn (nil to ignore) so pooled resources in flight when a run
+// ends — frames queued past the end time, undelivered NIC batches — can be
+// returned to their pools. Func events are dropped silently; Now does not
+// advance. The delivery side table and its free list are reset.
+func (s *Scheduler) DiscardPending(fn func(Payload)) int {
+	n := 0
+	for {
+		e := s.q.top()
+		if e == nil {
+			break
+		}
+		if e.del != 0 && fn != nil {
+			fn(s.deliveries[e.del-1].payload)
+		}
+		s.q.Pop()
+		n++
+	}
+	s.deliveries = s.deliveries[:0]
+	s.freeDel = s.freeDel[:0]
+	return n
+}
+
 // Charge records ns nanoseconds of modeled host-CPU work attributed to this
 // component. The decomposition layer's makespan model consumes these totals
 // to predict parallel simulation time on a given core budget.

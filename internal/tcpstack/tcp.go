@@ -20,8 +20,12 @@ import (
 type Transport interface {
 	// Now returns the current virtual time as seen by this endpoint.
 	Now() sim.Time
-	// After schedules fn after d.
-	After(d sim.Time, fn func()) *sim.Timer
+	// Post schedules fn after d with no cancellation handle; the stack's
+	// timer logic tolerates stale firings, so the cheaper primitive suffices.
+	Post(d sim.Time, fn func())
+	// NewFrame returns a zeroed frame for an outgoing segment, pooled when
+	// the transport pools (ownership transfers back via Output).
+	NewFrame() *proto.Frame
 	// Output transmits a sealed frame toward the remote endpoint.
 	Output(f *proto.Frame)
 	// LocalIP returns the endpoint address.
@@ -82,9 +86,19 @@ type Conn struct {
 	cwnd           float64
 	ssthresh       float64
 	dupAcks        int
-	rtoTimer       *sim.Timer
 	rtoBackoff     int
 	srtt, rttvar   sim.Time
+
+	// Lazily re-armed retransmission timer: rtoDeadline is the earliest
+	// instant a timeout may act (-1 when disarmed), rtoPending whether a
+	// posted firing is outstanding, rtoFireFn the bound firing closure
+	// (allocated once). Re-arming updates the deadline; a firing that
+	// arrives before it re-posts instead of timing out. That replaces the
+	// cancel-and-recreate Timer the previous implementation paid for on
+	// every ACK.
+	rtoDeadline sim.Time
+	rtoPending  bool
+	rtoFireFn   func()
 	measureSeq     int64
 	measureAt      sim.Time
 	measureValid   bool
@@ -168,16 +182,15 @@ func ext64(base int64, wire uint32) int64 {
 }
 
 func (c *Conn) sendSegment(seq int64, size int, flags uint16, ack int64) {
-	f := &proto.Frame{
-		Eth: proto.Ethernet{Dst: c.rmac, Src: c.tr.LocalMAC()},
-		IP:  proto.IPv4{Src: c.tr.LocalIP(), Dst: c.remote, Proto: proto.IPProtoTCP},
-		TCP: proto.TCP{
-			SrcPort: c.lport, DstPort: c.rport,
-			Seq: uint32(seq), Ack: uint32(ack), Flags: flags,
-			Window: 65535,
-		},
-		VirtualPayload: size,
+	f := c.tr.NewFrame()
+	f.Eth = proto.Ethernet{Dst: c.rmac, Src: c.tr.LocalMAC()}
+	f.IP = proto.IPv4{Src: c.tr.LocalIP(), Dst: c.remote, Proto: proto.IPProtoTCP}
+	f.TCP = proto.TCP{
+		SrcPort: c.lport, DstPort: c.rport,
+		Seq: uint32(seq), Ack: uint32(ack), Flags: flags,
+		Window: 65535,
 	}
+	f.VirtualPayload = size
 	if size > 0 && c.algo == CCDCTCP {
 		f.IP = f.IP.WithECN(proto.ECNECT0)
 	}
@@ -219,14 +232,38 @@ func (c *Conn) rto() sim.Time {
 	return rto
 }
 
+// armRTO (re)sets the retransmission deadline. When a posted firing is
+// already outstanding it only moves the deadline — the firing re-posts
+// itself if it arrives early — so the common ACK path schedules nothing.
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
 	if c.sndUna >= c.sndNxt {
-		return // nothing in flight
+		c.rtoDeadline = 0 // nothing in flight; a pending firing will no-op
+		return
 	}
-	c.rtoTimer = c.tr.After(c.rto(), c.onRTO)
+	c.rtoDeadline = c.tr.Now() + c.rto()
+	if c.rtoPending {
+		return
+	}
+	if c.rtoFireFn == nil {
+		c.rtoFireFn = c.rtoFire
+	}
+	c.rtoPending = true
+	c.tr.Post(c.rto(), c.rtoFireFn)
+}
+
+// rtoFire runs when a posted RTO event arrives: stale or early firings
+// re-post or vanish, only a firing at (or past) the live deadline times out.
+func (c *Conn) rtoFire() {
+	c.rtoPending = false
+	if c.done || c.rtoDeadline == 0 {
+		return
+	}
+	if now := c.tr.Now(); now < c.rtoDeadline {
+		c.rtoPending = true
+		c.tr.Post(c.rtoDeadline-now, c.rtoFireFn)
+		return
+	}
+	c.onRTO()
 }
 
 func (c *Conn) onRTO() {
@@ -329,9 +366,7 @@ func (c *Conn) handleAck(f *proto.Frame) {
 
 func (c *Conn) finish() {
 	c.done = true
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoDeadline = 0
 	if c.onDone != nil {
 		c.onDone()
 	}

@@ -36,10 +36,11 @@ func newLoop(delay sim.Time) *loop {
 }
 
 func (e *endpoint) Now() sim.Time { return e.l.sched.Now() }
-func (e *endpoint) After(d sim.Time, fn func()) *sim.Timer {
-	return e.l.sched.At(e.l.sched.Now()+d, fn)
+func (e *endpoint) Post(d sim.Time, fn func()) {
+	e.l.sched.Post(e.l.sched.Now()+d, fn)
 }
-func (e *endpoint) LocalIP() proto.IP   { return e.ip }
+func (e *endpoint) NewFrame() *proto.Frame { return &proto.Frame{} }
+func (e *endpoint) LocalIP() proto.IP      { return e.ip }
 func (e *endpoint) LocalMAC() proto.MAC { return proto.MACFromID(uint32(e.ip)) }
 func (e *endpoint) Output(f *proto.Frame) {
 	peer := e.peer

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Regenerate the repository's benchmark-baseline files. Runs the link,
-# fabric, scheduler, and placement microbenchmark suites and appends one
-# revision entry to BENCH_link.json / BENCH_fabric.json / BENCH_sched.json /
-# BENCH_placement.json via cmd/benchjson. Every perf-relevant PR should run
+# fabric, scheduler, placement, and substrate microbenchmark suites and
+# appends one revision entry to BENCH_link.json / BENCH_fabric.json /
+# BENCH_sched.json / BENCH_placement.json / BENCH_netsim.json via
+# cmd/benchjson. Every perf-relevant PR should run
 # this and commit the updated files so the repository carries its own perf
 # trajectory.
 #
@@ -41,3 +42,9 @@ echo "== placement benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkPlacement' \
     -benchtime "$TIME" -count "$COUNT" ./internal/orch/ |
     go run ./cmd/benchjson -suite placement -out BENCH_placement.json -rev "$REV" $STRICT
+
+echo "== substrate packet-path benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkSubstrate' \
+    -benchtime "$TIME" -count "$COUNT" \
+    ./internal/netsim/ ./internal/nicsim/ ./internal/tcpstack/ |
+    go run ./cmd/benchjson -suite netsim -out BENCH_netsim.json -rev "$REV" $STRICT
