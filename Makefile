@@ -1,16 +1,17 @@
 # Tier-1 gate and convenience targets. `make check` is what every PR must
 # keep green (see README.md); `make race` adds the data-race gate over the
-# packages with cross-goroutine traffic; `make chaos` runs the transport
+# whole module (every package may run under the multi-core executor now);
+# `make chaos` runs the transport
 # fault-injection suite under the race detector; `make bench` refreshes the
 # committed benchmark baselines.
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench all
+.PHONY: check build vet test race chaos parallel bench all
 
 all: check race
 
-check: vet build test chaos
+check: vet build test chaos parallel
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +23,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+# Multi-core executor gate: the parallel digest/wake/profiling tests under
+# the race detector, so check catches both nondeterminism and data races in
+# the pinned-thread path.
+parallel:
+	$(GO) test -race -run 'TestParallel' \
+		./internal/link/ ./internal/orch/ ./internal/profiler/
 
 # Fault-injection suite: supervised transport under connection kills,
 # garbles, and delays, with goroutine-leak accounting — raced.

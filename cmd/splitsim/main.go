@@ -123,6 +123,7 @@ flags for run and plan:
   -scale f       duration/topology scale (default 1.0 = paper scale)
   -seed n        random seed (default 42)
   -placement p   execution placement (placement: %s; fig7/fig8: s|percomp|auto)
+  -parallel      run placed groups on real cores (pinned threads, batched sync windows)
 
 experiments: %v
 plannable: %v
@@ -136,8 +137,9 @@ func parseOpts(cmd string, args []string) experiments.Options {
 	scale := fs.Float64("scale", 1.0, "duration/topology scale")
 	seed := fs.Uint64("seed", 42, "random seed")
 	placement := fs.String("placement", "", "execution placement")
+	parallel := fs.Bool("parallel", false, "multi-core executor for placed runs")
 	_ = fs.Parse(args)
-	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement}
+	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement, Parallel: *parallel}
 }
 
 func fail(format string, args ...interface{}) {

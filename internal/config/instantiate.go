@@ -186,6 +186,13 @@ func (i *Instance) RunPlaced(end sim.Time, p decomp.Placement) error {
 	return i.Sim.RunPlaced(end, p)
 }
 
+// RunParallel executes the instance under the given placement with the
+// multi-core executor (pinned OS threads, batched sync windows).
+// Bit-identical to RunSequential and RunPlaced.
+func (i *Instance) RunParallel(end sim.Time, p decomp.Placement) error {
+	return i.Sim.RunParallel(end, p)
+}
+
 // Plan resolves a placement against the instance's simulation.
 func (i *Instance) Plan(p decomp.Placement) (*orch.ExecutionPlan, error) {
 	return i.Sim.Plan(p)

@@ -60,6 +60,30 @@ func DefaultParams(duration sim.Time) Params {
 	}
 }
 
+// HostParams returns model constants tuned to the executing host instead of
+// the calibrated paper constants: cores is the real parallelism budget
+// (runtime.GOMAXPROCS as the orchestrator passes it) and measuredSyncNs the
+// per-sync cost measured on this machine's channel fabric
+// (link.MeasureSyncCost via orch.HostModelParams). Zero or negative inputs
+// keep the calibrated defaults, so HostParams degrades gracefully when
+// calibration is unavailable. Feeding these parameters to AutoPlace makes
+// the recommender weigh core count and measured sync cost, not just
+// accounted nanos.
+func HostParams(duration sim.Time, cores int, measuredSyncNs float64) Params {
+	p := DefaultParams(duration)
+	if cores > 0 {
+		p.Cores = cores
+	}
+	if measuredSyncNs > 0 {
+		p.SyncCostNs = measuredSyncNs
+		// A data message rides the same publish/drain path as a sync plus
+		// payload hand-off; scale the message price by the measured/default
+		// sync ratio so the two stay in proportion.
+		p.MsgCostNs *= measuredSyncNs / DefaultParams(duration).SyncCostNs
+	}
+	return p
+}
+
 // Result is the model's prediction for one configuration.
 type Result struct {
 	// SeqNs is the runtime with everything in one process (no channels).

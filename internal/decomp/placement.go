@@ -214,6 +214,13 @@ type RecommendOptions struct {
 	MergeAbove float64
 	// MaxGroups caps the group count after splitting (0: one per component).
 	MaxGroups int
+	// Cores caps useful parallelism: splitting past the physical core count
+	// adds synchronization without adding concurrent execution, so with
+	// Cores set the recommender never splits beyond it (MaxGroups is
+	// clamped). 0 leaves MaxGroups alone — the model-reproduction default,
+	// where the paper assumes one core per process. AutoPlace fills it from
+	// Params.Cores.
+	Cores int
 }
 
 func (o RecommendOptions) withDefaults(nComps int) RecommendOptions {
@@ -225,6 +232,9 @@ func (o RecommendOptions) withDefaults(nComps int) RecommendOptions {
 	}
 	if o.MaxGroups <= 0 {
 		o.MaxGroups = nComps
+	}
+	if o.Cores > 0 && o.MaxGroups > o.Cores {
+		o.MaxGroups = o.Cores
 	}
 	return o
 }
@@ -343,7 +353,17 @@ func RecommendPlacement(cur Placement, comps []Comp, links []Link, a *profiler.A
 // Because the analysis is modeled from accounted costs, the result is
 // reproducible on any machine; a live harness can run the same loop with
 // profiler.Analyze output instead.
+//
+// params.Cores, when set (HostParams sets it to the real core count), flows
+// into both sides of the loop: the makespan model schedules groups onto
+// that many cores (lpt) and the recommender stops splitting beyond them.
+// With host-measured sync costs in params the loop recommends placements
+// for the machine in front of it, not the paper's idealized one-core-per-
+// process cluster.
 func AutoPlace(comps []Comp, links []Link, params Params, opts RecommendOptions) Placement {
+	if opts.Cores == 0 {
+		opts.Cores = params.Cores
+	}
 	cur := PerComponent(len(comps))
 	cur.Name = "auto"
 	seen := map[string]bool{}

@@ -28,6 +28,11 @@ type Options struct {
 	// their model predictions under s/percomp/auto). Empty keeps each
 	// experiment's default.
 	Placement string
+	// Parallel executes placed runs with the multi-core executor
+	// (orch.RunParallel: pinned OS threads, batched horizon windows)
+	// instead of the plain coupled executor. Results are bit-identical
+	// either way; only wall-clock measurements change.
+	Parallel bool
 }
 
 // DefaultOptions returns paper-scale settings.

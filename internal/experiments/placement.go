@@ -185,8 +185,14 @@ func PlacementStudy(opts Options) (*PlacementResult, error) {
 
 		run := buildPlacementStudy(opts)
 		sw := newStopwatch()
-		if err := run.s.RunPlaced(dur, p); err != nil {
-			return nil, fmt.Errorf("experiments: placement %s: %w", name, err)
+		var runErr error
+		if opts.Parallel {
+			runErr = run.s.RunParallel(dur, p)
+		} else {
+			runErr = run.s.RunPlaced(dur, p)
+		}
+		if runErr != nil {
+			return nil, fmt.Errorf("experiments: placement %s: %w", name, runErr)
 		}
 		checkDrained(run.s)
 		wall := sw.ms()

@@ -1,0 +1,47 @@
+package link
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// calRounds is the number of sync exchanges MeasureSyncCost times. Large
+// enough to amortize goroutine start-up and clock quantization, small
+// enough that calibration costs about a millisecond.
+const calRounds = 4096
+
+// MeasureSyncCost wall-clock-times a pure synchronization ping-pong between
+// two coupled runners on this machine's actual channel fabric and returns
+// the measured host nanoseconds per sync message sent. The two runners
+// carry no components, so every message exchanged is a sync and the result
+// isolates the fabric's per-quantum price — publish, wake, drain, horizon
+// update — as it really is on this host, spin/park discipline included.
+//
+// The decomposition model's calibrated SyncCostNs constant stands in for
+// this number when reproducing the paper's figures; placement decisions for
+// a run on *this* machine should prefer the measured value
+// (decomp.HostParams, orch.HostModelParams). Returns 0 when the
+// measurement is degenerate (clock too coarse to observe the run); callers
+// treat 0 as "keep the calibrated default".
+func MeasureSyncCost() float64 {
+	const latency = sim.Microsecond
+	ch := NewChannel("calibrate", latency, 0)
+	g := &Group{}
+	ra := NewRunner("cal.a", sim.NewScheduler(1))
+	rb := NewRunner("cal.b", sim.NewScheduler(2))
+	ra.Attach(ch.SideA())
+	rb.Attach(ch.SideB())
+	g.Add(ra, rb)
+
+	start := time.Now()
+	if err := g.Run(calRounds * latency); err != nil {
+		return 0
+	}
+	wall := float64(time.Since(start).Nanoseconds())
+	syncs := ch.SideA().Stats.TxSync + ch.SideB().Stats.TxSync
+	if syncs == 0 || wall <= 0 {
+		return 0
+	}
+	return wall / float64(syncs)
+}

@@ -58,6 +58,14 @@ func msgCount(payload core.Message) uint64 {
 // WaitNanos and ProcNanos are wall-clock nanoseconds; PeakDepth is the
 // deepest incoming-queue backlog ever observed at publication time; the
 // remaining fields are message counts.
+//
+// Concurrency contract: every field of an Endpoint's Stats is written only
+// by the runner that owns the endpoint — Tx* in SendSub on the sender's
+// goroutine, Rx*/ProcNanos/WaitNanos in the owner's drain/handle/block
+// paths — so the multi-core executor needs no atomics here. Aggregation
+// (Runner.Counters, the profiler's samplers) happens either on the owning
+// runner's scheduler or after Group.Run returns, which happens-after every
+// runner goroutine exits. TestParallelProfilingRace holds this to -race.
 type Counters struct {
 	WaitNanos uint64 // blocked waiting for the peer's sync/data
 	ProcNanos uint64 // spent handling incoming messages

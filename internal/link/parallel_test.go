@@ -1,0 +1,128 @@
+package link
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestSpinParams pins the GOMAXPROCS keying of the adaptive spin-then-park
+// budget: one core must never busy-spin (the producer runs only when we
+// yield), several cores must spin before yielding.
+func TestSpinParams(t *testing.T) {
+	for _, procs := range []int{0, 1} {
+		if s, y := spinParams(procs); s != 0 || y != singleCoreYields {
+			t.Errorf("spinParams(%d) = (%d, %d), want (0, %d)", procs, s, y, singleCoreYields)
+		}
+	}
+	for _, procs := range []int{2, 4, 64} {
+		if s, y := spinParams(procs); s != multiCoreSpins || y != multiCoreYields {
+			t.Errorf("spinParams(%d) = (%d, %d), want (%d, %d)",
+				procs, s, y, multiCoreSpins, multiCoreYields)
+		}
+	}
+}
+
+// TestParallelWakePromptness is the park/wake regression test for true
+// concurrency: a consumer that has spun out its budget and parked must wake
+// promptly when a producer on a different OS thread publishes. Before the
+// adaptive budget, the fixed single-core yield loop was the only thing
+// standing between tryRecv and a park — this test runs with GOMAXPROCS >= 2
+// and a thread-locked producer so the park path genuinely races a
+// concurrent publish.
+func TestParallelWakePromptness(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	for round := 0; round < 8; round++ {
+		p := newPipe()
+		got := make(chan time.Time, 1)
+		go func() {
+			m, ok, _ := p.recvAdaptive()
+			if !ok || m.T != 7 {
+				got <- time.Time{}
+				return
+			}
+			got <- time.Now()
+		}()
+		// Give the consumer time to burn its spin+yield budget and park.
+		time.Sleep(10 * time.Millisecond)
+		runtime.LockOSThread()
+		sent := time.Now()
+		p.send(Message{T: 7, Kind: KindSync})
+		runtime.UnlockOSThread()
+		select {
+		case woke := <-got:
+			if woke.IsZero() {
+				t.Fatal("consumer returned without the message")
+			}
+			if d := woke.Sub(sent); d > 500*time.Millisecond {
+				t.Fatalf("parked consumer took %v to wake", d)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("parked consumer never woke")
+		}
+	}
+}
+
+// TestRecvAdaptiveClosed checks the adaptive path's end-of-stream handling:
+// staged messages drain first, then closed is reported.
+func TestRecvAdaptiveClosed(t *testing.T) {
+	p := newPipe()
+	p.send(Message{T: 1, Kind: KindSync})
+	p.close()
+	if m, ok, closed := p.recvAdaptive(); !ok || closed || m.T != 1 {
+		t.Fatalf("recvAdaptive = (%v, %v, %v), want message T=1", m, ok, closed)
+	}
+	if _, ok, closed := p.recvAdaptive(); ok || !closed {
+		t.Fatal("recvAdaptive on drained closed pipe should report closed")
+	}
+}
+
+// batchProbe builds two coupled runners joined by a channel whose sync
+// interval is much finer than its latency, runs them, and returns the total
+// sync messages sent.
+func batchProbe(t *testing.T, batch bool, end sim.Time) uint64 {
+	t.Helper()
+	ch := NewChannel("probe", 8*sim.Microsecond, sim.Microsecond)
+	ra := NewRunner("a", sim.NewScheduler(1))
+	rb := NewRunner("b", sim.NewScheduler(2))
+	ra.SetBatchWindows(batch)
+	rb.SetBatchWindows(batch)
+	ra.Attach(ch.SideA())
+	rb.Attach(ch.SideB())
+	g := &Group{}
+	g.Add(ra, rb)
+	if err := g.Run(end); err != nil {
+		t.Fatal(err)
+	}
+	return ch.SideA().Stats.TxSync + ch.SideB().Stats.TxSync
+}
+
+// TestBatchWindowsAmortizeSyncs pins the parallel executor's horizon
+// batching: with a sync interval of latency/8, the batched discipline must
+// exchange several times fewer sync messages over the same run — one
+// exchange per lookahead window instead of one per interval.
+func TestBatchWindowsAmortizeSyncs(t *testing.T) {
+	const end = 2 * sim.Millisecond
+	fine := batchProbe(t, false, end)
+	batched := batchProbe(t, true, end)
+	if fine == 0 || batched == 0 {
+		t.Fatalf("degenerate sync counts: fine=%d batched=%d", fine, batched)
+	}
+	if batched*4 > fine {
+		t.Fatalf("batched windows sent %d syncs vs %d unbatched; want >=4x reduction", batched, fine)
+	}
+}
+
+// TestMeasureSyncCost sanity-checks the calibration probe: it must complete
+// and price a sync exchange at something positive and sane.
+func TestMeasureSyncCost(t *testing.T) {
+	ns := MeasureSyncCost()
+	if ns <= 0 {
+		t.Fatal("MeasureSyncCost returned 0 — degenerate measurement")
+	}
+	if ns > 1e8 {
+		t.Fatalf("MeasureSyncCost = %v ns/sync, implausibly slow", ns)
+	}
+}

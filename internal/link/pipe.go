@@ -19,7 +19,10 @@
 // DESIGN.md, substitution table).
 package link
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // Chunk geometry: messages live in fixed-size segments chained by an atomic
 // next pointer, so the queue is unbounded (bounded queues can deadlock two
@@ -293,6 +296,67 @@ func (p *pipe) drain(fn func(Message)) (n int, closed bool) {
 	p.tailCache = p.consumed
 	p.head.Store(p.consumed)
 	return n, false
+}
+
+// Adaptive spin-then-park budgets. The consumer's blocking strategy depends
+// on whether the producer can be executing at this very instant:
+//
+//   - GOMAXPROCS == 1: it cannot. The producer runs *because* we yield, so
+//     busy-spinning without yielding is pure waste; the right move is a
+//     bounded Gosched loop (each yield is a chance for the producer to run
+//     and publish) and then a real park.
+//   - GOMAXPROCS > 1: the producer may be mid-publish on another core, a
+//     handful of nanoseconds away. A short hot spin re-checking the
+//     published tail picks the message up without surrendering the core,
+//     where an immediate park would pay a sleep/wake round trip through the
+//     wake gate (microseconds) for a message that was almost there. A few
+//     yields after the spin cover the oversubscribed case (more runners
+//     than cores) before parking for real.
+//
+// The budgets are consulted per blocking episode, not cached at init:
+// GOMAXPROCS legitimately changes at runtime (tests sweep it; deployments
+// resize), and a budget tuned for the wrong mode is exactly the single-core
+// assumption this replaces.
+const (
+	singleCoreYields = 64  // legacy yield budget: peer runs only when we yield
+	multiCoreSpins   = 256 // hot tail re-checks while the peer may be publishing
+	multiCoreYields  = 8   // then brief yields for oversubscription, then park
+)
+
+// spinParams returns the (spin, yield) budget for the current processor
+// count.
+func spinParams(procs int) (spins, yields int) {
+	if procs <= 1 {
+		return 0, singleCoreYields
+	}
+	return multiCoreSpins, multiCoreYields
+}
+
+// recvAdaptive dequeues, blocking until a message arrives or the pipe is
+// closed and drained — like recv, but with the spin-then-park discipline
+// above instead of parking on first emptiness. Consumer side only.
+func (p *pipe) recvAdaptive() (m Message, ok, closed bool) {
+	spins, yields := spinParams(runtime.GOMAXPROCS(0))
+	for i := 0; ; i++ {
+		if m, ok := p.pop(); ok {
+			return m, true, false
+		}
+		if p.closed.Load() {
+			if m, ok := p.pop(); ok {
+				return m, true, false
+			}
+			return Message{}, false, true
+		}
+		switch {
+		case i < spins:
+			// Hot spin: pop reloads the published tail each pass, so a
+			// concurrent publish is observed without any scheduler traffic.
+		case i < spins+yields:
+			runtime.Gosched()
+		default:
+			p.park(false)
+		}
+	}
 }
 
 // park blocks the consumer until a producer-side event (publish, close,

@@ -41,6 +41,15 @@ type Runner struct {
 	// is skipped wholesale.
 	lastSyncAll sim.Time
 
+	// batchWindows, set by the parallel executor, amortizes horizon
+	// advancement: the event batch runs all the way to the conservative
+	// horizon and one sync exchange covers the whole lookahead window,
+	// instead of pausing every sync interval to emit intermediate syncs.
+	// Peers advance in coarser steps but simulation content is untouched —
+	// sync messages never schedule events, so the run stays bit-identical
+	// (and the event count equal) to sequential execution.
+	batchWindows bool
+
 	// epoch anchors the profiler's wall-clock samples: time.Since on a
 	// monotonic base is measurably cheaper than time.Now on VMs where the
 	// wall clock is a syscall, and the counters only ever need differences.
@@ -93,6 +102,15 @@ func (r *Runner) Attach(e *Endpoint) {
 func (r *Runner) AddComponent(c core.Component, src int32) {
 	c.Attach(core.Env{Sched: r.sched, Src: src})
 	r.comps = append(r.comps, c)
+}
+
+// SetBatchWindows toggles amortized horizon batching (see the batchWindows
+// field). Call before Run; the parallel executor enables it so that, under
+// true concurrency, peers exchange one sync per lookahead window instead of
+// one per sync interval.
+func (r *Runner) SetBatchWindows(on bool) {
+	r.batchWindows = on
+	r.syncCapOK = false
 }
 
 // Counters returns the sum of all endpoint counters.
@@ -174,8 +192,14 @@ func (r *Runner) horizon() sim.Time {
 
 // syncCap bounds batch size so that each peer hears from us at least once
 // per its channel's sync interval. Cached like horizon; sending on any
-// endpoint invalidates it.
+// endpoint invalidates it. With batched windows the cap is lifted entirely:
+// the horizon already bounds every batch to one lookahead window, and the
+// loop syncs whenever it stops advancing (sendSyncs after each batch, a
+// standing sync at Now before any block), so liveness needs no finer pacing.
 func (r *Runner) syncCap() sim.Time {
+	if r.batchWindows {
+		return sim.Infinity
+	}
 	if r.syncCapOK {
 		return r.syncCapCache
 	}
@@ -272,21 +296,15 @@ func (r *Runner) drainAll() {
 	}
 }
 
-// blockYields bounds how many times a stuck runner yields the processor
-// before parking for real. On a machine with fewer cores than runners the
-// peer we are waiting on is not running concurrently — it runs *because* we
-// yield — so a short yield loop usually picks up the message for the price
-// of a scheduler pass, where parking would cost a full sleep/wake round trip
-// through the wake gate. The bound keeps a runner whose peer is genuinely
-// slow (remote, or blocked on I/O) from busy-spinning.
-const blockYields = 64
-
 // blockOnLimiting waits for a message on the endpoint with the smallest
 // horizon, charging the blocked wall time to that endpoint's wait counter
 // and — like the drain path — the handling time to its proc counter, so
 // wait-time profiles do not silently lose the wakeup message's work.
 // Everything staged is published first: peers must see every message we
-// have produced before we sleep on them.
+// have produced before we sleep on them. The wait itself is the pipe's
+// adaptive spin-then-park (recvAdaptive), which keys its spin budget to
+// GOMAXPROCS: on one core it yields so the peer can run at all, on many it
+// briefly busy-polls a peer that may be publishing concurrently.
 func (r *Runner) blockOnLimiting() {
 	r.flushAll()
 	var limiting *Endpoint
@@ -312,14 +330,7 @@ func (r *Runner) blockOnLimiting() {
 		if sampled {
 			start = time.Since(r.epoch)
 		}
-		for i := 0; !ok && !closed; i++ {
-			if i >= blockYields {
-				m, ok, _ = limiting.in.recv()
-				break
-			}
-			runtime.Gosched()
-			m, ok, closed = limiting.in.tryRecv()
-		}
+		m, ok, closed = limiting.in.recvAdaptive()
 		if sampled {
 			limiting.Stats.WaitNanos += uint64(time.Since(r.epoch)-start) * waitSamplePeriod
 		}
@@ -350,13 +361,28 @@ func (g *Group) Add(rs ...*Runner) { g.Runners = append(g.Runners, rs...) }
 // Run starts every runner in its own goroutine and waits for all of them.
 // A panic in any runner is captured and returned as an error after the
 // remaining runners are unblocked by their peers' closed pipes.
-func (g *Group) Run(end sim.Time) error {
+func (g *Group) Run(end sim.Time) error { return g.run(end, 0) }
+
+// RunPinned is Run with the first `pinned` runners each locked to a
+// dedicated OS thread for the duration of the run — the multi-core
+// executor's thread pool. Every runner still gets its own goroutine
+// (runners block on one another, so they must all be schedulable); pinning
+// beyond what the caller asks for is left to the Go scheduler. Callers size
+// `pinned` to GOMAXPROCS (see orch's parallel executor) so each pinned
+// runner maps onto one core's worth of OS-level parallelism.
+func (g *Group) RunPinned(end sim.Time, pinned int) error { return g.run(end, pinned) }
+
+func (g *Group) run(end sim.Time, pinned int) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(g.Runners))
 	for i, r := range g.Runners {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if i < pinned {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					errs[i] = fmt.Errorf("runner %s: %v", r.name, p)

@@ -1,0 +1,92 @@
+package orch
+
+import (
+	"runtime"
+
+	"repro/internal/decomp"
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// Multi-core execution of placement groups. The paper's bet (§3.2) is that
+// a simulation decomposed into components synchronized over latency-
+// lookahead channels can run truly in parallel; the coupled executor
+// already runs one goroutine per runner group, but leaves thread placement
+// and sync pacing to defaults tuned for a single core. RunParallel is the
+// finished job:
+//
+//   - each runner group is locked to a dedicated OS thread (up to
+//     GOMAXPROCS of them — beyond that, pinning would only multiply OS
+//     threads competing for the same cores, so spillover groups stay on the
+//     Go scheduler);
+//   - horizon advancement is batched: one sync exchange covers a whole
+//     lookahead window instead of pausing every sync interval
+//     (link.Runner.SetBatchWindows);
+//   - the channel fabric's blocking discipline switches, via the same
+//     GOMAXPROCS signal, from yield-to-let-the-peer-run to
+//     spin-then-park (link pipe recvAdaptive).
+//
+// The standing invariant is untouched: a parallel run is bit-identical to
+// RunSequential for every placement — sync cadence and thread placement
+// never schedule or reorder simulation events. The property tests in
+// parallel_test.go enforce this at GOMAXPROCS 1, 2, 4, and NumCPU.
+
+// ParallelOptions tunes the multi-core executor. The zero value is the
+// plain coupled executor (no pinning, per-sync-interval pacing).
+type ParallelOptions struct {
+	// Pin locks runner goroutines to dedicated OS threads so group
+	// placement survives Go scheduler preemption.
+	Pin bool
+	// MaxPinned caps how many runners are pinned (0 = all when Pin is set).
+	// The parallel defaults set it to GOMAXPROCS: one pinned thread per
+	// core's worth of parallelism, spillover groups multiplexed by the Go
+	// scheduler.
+	MaxPinned int
+	// BatchWindows amortizes horizon advancement: one sync exchange per
+	// lookahead window instead of per sync interval.
+	BatchWindows bool
+}
+
+// DefaultParallelOptions derives the executor configuration from the host:
+// batching always pays (fewer fabric messages for identical results), and
+// pinning pays exactly when more than one core is available.
+func DefaultParallelOptions() ParallelOptions {
+	procs := runtime.GOMAXPROCS(0)
+	return ParallelOptions{
+		Pin:          procs > 1,
+		MaxPinned:    procs,
+		BatchWindows: true,
+	}
+}
+
+// RunParallel executes the plan with the multi-core defaults for this host.
+func (pl *ExecutionPlan) RunParallel(end sim.Time) error {
+	return pl.execute(end, DefaultParallelOptions())
+}
+
+// RunParallelOpts executes the plan under explicit executor options.
+func (pl *ExecutionPlan) RunParallelOpts(end sim.Time, opts ParallelOptions) error {
+	return pl.execute(end, opts)
+}
+
+// RunParallel executes the simulation under the given placement with runner
+// groups on real cores — the multi-core analog of RunPlaced. Bit-identical
+// to RunSequential for every placement.
+func (s *Simulation) RunParallel(end sim.Time, p decomp.Placement) error {
+	pl, err := s.Plan(p)
+	if err != nil {
+		return err
+	}
+	return pl.RunParallel(end)
+}
+
+// HostModelParams returns decomposition-model parameters tuned to the
+// executing host rather than the calibrated paper constants: the core
+// budget is GOMAXPROCS and the per-sync cost is measured on this machine's
+// actual channel fabric (link.MeasureSyncCost). AutoPlace fed with these
+// parameters weighs core count and real sync cost — it stops splitting
+// beyond the cores that exist and merges groups whose sync bill, at
+// measured prices, exceeds their parallelism win.
+func HostModelParams(duration sim.Time) decomp.Params {
+	return decomp.HostParams(duration, runtime.GOMAXPROCS(0), link.MeasureSyncCost())
+}

@@ -1,0 +1,177 @@
+package orch_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/orch"
+	"repro/internal/sim"
+)
+
+// runParallelTrial builds a fresh simulation and runs it with the
+// multi-core executor under p, returning per-component traces and the total
+// scheduler events processed.
+func runParallelTrial(t *testing.T, build buildFn, seed uint64, nComps int, end sim.Time, p decomp.Placement) ([][]string, uint64) {
+	t.Helper()
+	s, comps := build(seed, nComps)
+	if err := s.RunParallel(end, p); err != nil {
+		t.Fatalf("RunParallel(%v): %v", p.Groups, err)
+	}
+	var events uint64
+	for _, r := range s.Group.Runners {
+		events += r.Scheduler().Processed()
+	}
+	traces := make([][]string, len(comps))
+	for i, c := range comps {
+		traces[i] = c.trace
+	}
+	return traces, events
+}
+
+// gomaxprocsSweep is the satellite's required sweep: the executor must be
+// bit-identical to sequential whether it gets one core, a few, or the whole
+// machine. Duplicates (NumCPU may be 1, 2, or 4) are dropped.
+func gomaxprocsSweep() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range []int{1, 2, 4, runtime.NumCPU()} {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestParallelDigestMatchesSequential is the tentpole's acceptance
+// property: RunParallel — thread pinning, batched horizon windows,
+// spin-then-park blocking and all — produces bit-identical per-component
+// traces and scheduler event counts to RunSequential, for random
+// placements, at every GOMAXPROCS level. Sync pacing and thread placement
+// must never schedule or reorder a simulation event.
+func TestParallelDigestMatchesSequential(t *testing.T) {
+	const end = 2 * sim.Millisecond
+	builders := []struct {
+		name  string
+		build buildFn
+	}{
+		{"direct", buildRandom},
+		{"trunked", buildTrunked},
+	}
+	for _, procs := range gomaxprocsSweep() {
+		procs := procs
+		t.Run(fmt.Sprintf("procs%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			for _, bld := range builders {
+				for seed := uint64(1); seed <= 2; seed++ {
+					nComps := 4 + int(seed)
+					refTraces, refEvents := runPlaced(t, bld.build, seed, nComps, end, nil)
+					if refEvents == 0 {
+						t.Fatal("sequential run processed no events")
+					}
+
+					placements := []decomp.Placement{
+						decomp.PerComponent(nComps),
+						decomp.SingleGroup(nComps),
+					}
+					prng := sim.NewRand(seed * 104729)
+					for k := 0; k < 2; k++ {
+						groups := make([]int, nComps)
+						for i := range groups {
+							groups[i] = prng.Intn(1 + prng.Intn(nComps))
+						}
+						placements = append(placements,
+							decomp.Placement{Name: fmt.Sprintf("rand%d", k), Groups: groups})
+					}
+
+					for _, p := range placements {
+						traces, events := runParallelTrial(t, bld.build, seed, nComps, end, p)
+						if events != refEvents {
+							t.Errorf("%s/seed%d %s: %d events, sequential %d",
+								bld.name, seed, p.Name, events, refEvents)
+						}
+						for i := range traces {
+							if !equalSlices(traces[i], refTraces[i]) {
+								t.Fatalf("%s/seed%d %s: trace of comp %d diverged from sequential",
+									bld.name, seed, p.Name, i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFramesDrained runs the pooled-frame packet path under the
+// multi-core executor: every frame borrowed from the pool must be returned
+// once the run (including the post-run in-flight sweep) completes, and the
+// delivered packet count must match the sequential run.
+func TestParallelFramesDrained(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(runtime.NumCPU()))
+
+	ref, _, refH2 := twoNets()
+	ref.RunSequential(2 * sim.Millisecond)
+	if refH2.RxPackets == 0 {
+		t.Fatal("sequential reference delivered no packets")
+	}
+
+	s, h1, h2 := twoNets()
+	if err := s.RunParallel(2*sim.Millisecond, decomp.PerComponent(2)); err != nil {
+		t.Fatal(err)
+	}
+	if h2.RxPackets != refH2.RxPackets {
+		t.Fatalf("parallel delivered %d packets, sequential %d", h2.RxPackets, refH2.RxPackets)
+	}
+	if h1.TxPackets != h2.RxPackets {
+		t.Fatalf("tx %d != rx %d", h1.TxPackets, h2.RxPackets)
+	}
+	if live := s.LiveFrames(); live != 0 {
+		t.Fatalf("%d pooled frames leaked after parallel run", live)
+	}
+}
+
+// TestDefaultParallelOptions pins the host-derived executor defaults: never
+// pin on a single core (an OS thread per group buys nothing and costs
+// context switches), pin up to GOMAXPROCS otherwise, and always batch
+// windows (fewer fabric messages for identical results).
+func TestDefaultParallelOptions(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	runtime.GOMAXPROCS(1)
+	opts := orch.DefaultParallelOptions()
+	if opts.Pin {
+		t.Error("GOMAXPROCS=1: Pin should be off")
+	}
+	if !opts.BatchWindows {
+		t.Error("BatchWindows should default on")
+	}
+
+	runtime.GOMAXPROCS(4)
+	opts = orch.DefaultParallelOptions()
+	if !opts.Pin || opts.MaxPinned != 4 {
+		t.Errorf("GOMAXPROCS=4: got Pin=%v MaxPinned=%d, want pinning capped at 4",
+			opts.Pin, opts.MaxPinned)
+	}
+	if !opts.BatchWindows {
+		t.Error("BatchWindows should default on")
+	}
+}
+
+// TestHostModelParams checks the placement recommender's host tuning: the
+// core budget tracks GOMAXPROCS and the sync price comes from a real
+// measurement on this machine's fabric.
+func TestHostModelParams(t *testing.T) {
+	p := orch.HostModelParams(sim.Millisecond)
+	if want := runtime.GOMAXPROCS(0); p.Cores != want {
+		t.Errorf("Cores = %d, want GOMAXPROCS %d", p.Cores, want)
+	}
+	if p.SyncCostNs <= 0 {
+		t.Error("SyncCostNs should be measured > 0")
+	}
+	if p.Duration != sim.Millisecond {
+		t.Errorf("Duration = %v", p.Duration)
+	}
+}

@@ -217,8 +217,16 @@ func (pl *ExecutionPlan) wire(scheds []*sim.Scheduler, runners []*link.Runner) {
 // group, components attached in registration order with their sequential
 // ordering sources. Runner i carries GroupNames[i] — experiments and the
 // profiler key profiles by these labels. The run is bit-identical to
-// RunSequential for every placement.
+// RunSequential for every placement. RunParallel (parallel.go) executes the
+// same plan with runner groups pinned to OS threads and horizon batching.
 func (pl *ExecutionPlan) Run(end sim.Time) error {
+	return pl.execute(end, ParallelOptions{})
+}
+
+// execute is the shared coupled/parallel executor body: build one runner
+// per group, wire the channels, attach components, run the group under the
+// given options, sweep in-flight frames.
+func (pl *ExecutionPlan) execute(end sim.Time, opts ParallelOptions) error {
 	s := pl.s
 	g := &link.Group{}
 	scheds := make([]*sim.Scheduler, pl.NumGroups())
@@ -226,6 +234,7 @@ func (pl *ExecutionPlan) Run(end sim.Time) error {
 	for gi, name := range pl.GroupNames {
 		scheds[gi] = sim.NewScheduler(int32(1000 + gi))
 		runners[gi] = link.NewRunner(name, scheds[gi])
+		runners[gi].SetBatchWindows(opts.BatchWindows)
 		g.Add(runners[gi])
 	}
 	pl.wire(scheds, runners)
@@ -239,7 +248,14 @@ func (pl *ExecutionPlan) Run(end sim.Time) error {
 	if s.PreRun != nil {
 		s.PreRun(g)
 	}
-	err := g.Run(end)
+	pinned := 0
+	if opts.Pin {
+		pinned = len(runners)
+		if opts.MaxPinned > 0 && pinned > opts.MaxPinned {
+			pinned = opts.MaxPinned
+		}
+	}
+	err := g.RunPinned(end, pinned)
 	// All runner goroutines have joined; sweep every scheduler so frames
 	// still in flight at end return to their pools (leak counters read
 	// zero after every run, any placement).

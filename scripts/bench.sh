@@ -39,7 +39,7 @@ go test -run '^$' -bench 'BenchmarkTimerChurn|BenchmarkQueueChurn|BenchmarkSched
     go run ./cmd/benchjson -suite sched -out BENCH_sched.json -rev "$REV" $STRICT
 
 echo "== placement benchmarks (rev $REV) =="
-go test -run '^$' -bench 'BenchmarkPlacement' \
+go test -run '^$' -bench 'BenchmarkPlacement|BenchmarkParallel|BenchmarkCoupledSyncLight' \
     -benchtime "$TIME" -count "$COUNT" ./internal/orch/ |
     go run ./cmd/benchjson -suite placement -out BENCH_placement.json -rev "$REV" $STRICT
 

@@ -190,6 +190,10 @@ type (
 	ExecutionPlan = orch.ExecutionPlan
 	// RecommendOptions tunes the profiler-driven placement recommender.
 	RecommendOptions = decomp.RecommendOptions
+	// ParallelOptions tunes the multi-core executor (thread pinning,
+	// batched horizon windows). The zero value is the plain coupled
+	// executor; DefaultParallelOptions derives the host defaults.
+	ParallelOptions = orch.ParallelOptions
 )
 
 // Placement constructors and the profiler→placement feedback loop.
@@ -207,6 +211,16 @@ var (
 	// DefaultModelParams returns the calibrated decomposition model
 	// parameters for a run of the given duration.
 	DefaultModelParams = decomp.DefaultParams
+	// HostModelParams returns model parameters tuned to the executing
+	// host: GOMAXPROCS as the core budget, measured per-sync cost from
+	// the live channel fabric.
+	HostModelParams = orch.HostModelParams
+	// DefaultParallelOptions derives multi-core executor settings from
+	// the host (pin when more than one core, always batch windows).
+	DefaultParallelOptions = orch.DefaultParallelOptions
+	// MeasureSyncCost wall-clock-prices one sync exchange on this
+	// machine's channel fabric.
+	MeasureSyncCost = link.MeasureSyncCost
 )
 
 // Profiling.
