@@ -7,11 +7,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos parallel bench all
+.PHONY: check build vet test race chaos parallel scale bench all
 
 all: check race
 
-check: vet build test chaos parallel
+check: vet build test chaos parallel scale
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,11 @@ parallel:
 chaos:
 	$(GO) test -race -run 'TestSupervised|TestSupervisor|TestPump|TestServe|TestDistributed' \
 		./internal/proxy/ ./internal/orch/
+
+# Datacenter-fabric smoke: a small prefix-routed Clos must build, route,
+# and complete incast + shuffle workloads with zero frame leaks.
+scale:
+	$(GO) test -run 'TestScaleSmoke' ./internal/experiments/
 
 bench:
 	sh scripts/bench.sh

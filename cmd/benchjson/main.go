@@ -42,12 +42,15 @@ import (
 	"time"
 )
 
-// Result is the averaged measurement for one benchmark.
+// Result is the averaged measurement for one benchmark. Metrics holds
+// custom b.ReportMetric units (e.g. "pkts/s", "bytes/host") beyond the
+// standard trio.
 type Result struct {
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op"`
-	AllocsOp float64 `json:"allocs_op"`
-	Runs     int     `json:"runs"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Runs     int                `json:"runs"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Entry is one revision's worth of results.
@@ -85,6 +88,7 @@ func main() {
 
 	type acc struct {
 		ns, b, allocs float64
+		metrics       map[string]float64
 		n             int
 	}
 	sums := map[string]*acc{}
@@ -104,18 +108,28 @@ func main() {
 		}
 		a := sums[m[1]]
 		if a == nil {
-			a = &acc{}
+			a = &acc{metrics: map[string]float64{}}
 			sums[m[1]] = a
 		}
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		a.ns += ns
-		if m[4] != "" {
-			bo, _ := strconv.ParseFloat(m[4], 64)
-			a.b += bo
-		}
-		if m[5] != "" {
-			al, _ := strconv.ParseFloat(m[5], 64)
-			a.allocs += al
+		// Past "name count", a bench line is (value, unit) pairs: ns/op
+		// first, then any b.ReportMetric units (alphabetical), then the
+		// optional B/op and allocs/op from -benchmem.
+		fields := strings.Fields(line)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.b += v
+			case "allocs/op":
+				a.allocs += v
+			default:
+				a.metrics[fields[i+1]] += v
+			}
 		}
 		a.n++
 	}
@@ -135,12 +149,19 @@ func main() {
 		Results: map[string]Result{},
 	}
 	for name, a := range sums {
-		entry.Results[name] = Result{
+		r := Result{
 			NsOp:     round2(a.ns / float64(a.n)),
 			BOp:      round2(a.b / float64(a.n)),
 			AllocsOp: round2(a.allocs / float64(a.n)),
 			Runs:     a.n,
 		}
+		if len(a.metrics) > 0 {
+			r.Metrics = map[string]float64{}
+			for unit, sum := range a.metrics {
+				r.Metrics[unit] = round2(sum / float64(a.n))
+			}
+		}
+		entry.Results[name] = r
 	}
 
 	var f File
@@ -264,7 +285,8 @@ func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float6
 		c := cur.Results[name]
 		p, ok := prev.Results[name]
 		if !ok || p.NsOp == 0 {
-			fmt.Fprintf(w, "  %-40s %10.2f ns/op  (new benchmark)\n", name, c.NsOp)
+			fmt.Fprintf(w, "  %-40s %10.2f ns/op  (new benchmark)%s\n",
+				name, c.NsOp, metricsSuffix(c.Metrics))
 			continue
 		}
 		pct := (c.NsOp - p.NsOp) / p.NsOp * 100
@@ -273,8 +295,8 @@ func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float6
 			flag = "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(w, "  %-40s %10.2f -> %10.2f ns/op  %+6.1f%%%s\n",
-			name, p.NsOp, c.NsOp, pct, flag)
+		fmt.Fprintf(w, "  %-40s %10.2f -> %10.2f ns/op  %+6.1f%%%s%s\n",
+			name, p.NsOp, c.NsOp, pct, flag, metricsSuffix(c.Metrics))
 	}
 	for name := range prev.Results {
 		if _, ok := cur.Results[name]; !ok {
@@ -286,6 +308,24 @@ func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float6
 			suite, regressions, regressPct)
 	}
 	return regressions
+}
+
+// metricsSuffix renders custom metrics as "  [pkts/s=1.2e+06 ...]";
+// informational only — regression flagging stays on ns/op.
+func metricsSuffix(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	parts := make([]string, len(units))
+	for i, u := range units {
+		parts[i] = fmt.Sprintf("%s=%.4g", u, m[u])
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
 }
 
 func round2(v float64) float64 {

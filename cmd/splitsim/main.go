@@ -56,6 +56,9 @@ func catalog() map[string]runner {
 			}
 			return r.String(), nil
 		},
+		"scale": func(o experiments.Options) (string, error) {
+			return experiments.Scale(o).String(), nil
+		},
 		"scaleout": func(o experiments.Options) (string, error) {
 			r, err := experiments.ScaleOut(o)
 			if err != nil {

@@ -11,7 +11,7 @@ func TestCatalogCoversEveryFigure(t *testing.T) {
 	cat := catalog()
 	for _, want := range []string{
 		"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"clocksync", "configeffort", "placement", "scaleout",
+		"clocksync", "configeffort", "placement", "scale", "scaleout",
 	} {
 		if _, ok := cat[want]; !ok {
 			t.Errorf("catalog missing %q", want)

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/netsim/topogen"
+	"repro/internal/netsim/workload"
+	"repro/internal/orch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Scale — the ROADMAP item-1 experiment: build a datacenter-scale multi-pod
+// Clos with aggregate (prefix) routing and lazy hosts, and drive incast and
+// all-to-all shuffle workloads over it, reporting sustained simulated
+// packets per wall-clock second and resident routing state per host.
+//
+// At Scale=1 the fabric is the acceptance configuration: 100 pods × 32
+// leaves × 8 spines with 32 hosts per leaf — 102,400 host slots on 4,032
+// switches. Scale shrinks the pod count (floor 4). Only the 65 workload
+// participants are materialized; the other ~10⁵ slots cost one TopoHost
+// record each, which is the point.
+
+// ScalePhase is one workload phase's outcome.
+type ScalePhase struct {
+	Name       string
+	Flows      int
+	Completed  int
+	Bytes      int64
+	FCTMean    sim.Time
+	FCTP99     sim.Time
+	SimPkts    uint64  // frames through switches, simulated
+	WallMs     float64 // harness wall time
+	PktsPerSec float64 // SimPkts / wall
+}
+
+// ScaleResult is the experiment outcome.
+type ScaleResult struct {
+	Hosts        int
+	Switches     int
+	Pods         int
+	BuildMs      float64
+	MaxEntries   int     // max per-switch routing entries (must be O(pods))
+	BytesPerHost float64 // total routing state / hosts
+	Phases       []ScalePhase
+}
+
+// String renders the result table.
+func (r *ScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale: %d-host Clos (%d pods, %d switches), built in %.1f ms\n",
+		r.Hosts, r.Pods, r.Switches, r.BuildMs)
+	fmt.Fprintf(&b, "routing state: max %d entries/switch, %.1f B/host (per-IP would be %d entries/switch)\n",
+		r.MaxEntries, r.BytesPerHost, r.Hosts)
+	t := stats.NewTable("phase", "flows", "done", "fct-mean", "fct-p99", "simpkts", "pkts/s(wall)")
+	for _, p := range r.Phases {
+		t.Row(p.Name, p.Flows, p.Completed, p.FCTMean, p.FCTP99, p.SimPkts,
+			stats.FmtRate(p.PktsPerSec))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// scaleSpec derives the fabric from the option scale.
+func scaleSpec(opts Options) topogen.ClosSpec {
+	pods := int(math.Round(100 * opts.scale()))
+	if pods < 4 {
+		pods = 4
+	}
+	return topogen.ClosSpec{
+		Pods: pods, LeafPerPod: 32, SpinePerPod: 8, Cores: 32, HostsPerLeaf: 32,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps, CoreRate: 100 * sim.Gbps,
+		LinkDelay: sim.Microsecond, Lazy: true,
+	}
+}
+
+// scaleParticipants picks n host slots spread across pods and leaves.
+func scaleParticipants(m *topogen.ClosMeta, n int) []int {
+	slots := make([]int, 0, n)
+	seen := map[int]bool{}
+	for i := 0; len(slots) < n; i++ {
+		p := i % m.Spec.Pods
+		l := (i / m.Spec.Pods) % m.Spec.LeafPerPod
+		h := (i / (m.Spec.Pods * m.Spec.LeafPerPod)) % m.Spec.HostsPerLeaf
+		s := m.HostSlots[p][l][h]
+		if !seen[s] {
+			seen[s] = true
+			slots = append(slots, s)
+		}
+	}
+	return slots
+}
+
+// scalePhase builds a fresh fabric, materializes the participants, runs one
+// workload phase, and folds the outcome into a ScalePhase row.
+func scalePhase(name string, opts Options, wl workload.Spec, participants int, dur sim.Time, r *ScaleResult) ScalePhase {
+	sw := newStopwatch()
+	spec := scaleSpec(opts)
+	topo, m := topogen.Clos(spec)
+	b := topo.Build("scale", opts.Seed, nil, nil)
+	buildMs := sw.ms()
+
+	slots := scaleParticipants(m, participants)
+	hosts := make([]*netsim.Host, len(slots))
+	for i, slot := range slots {
+		hosts[i] = b.MaterializeSlot(slot)
+	}
+	eng := workload.Install(hosts, wl)
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, b, true)
+
+	runW := newStopwatch()
+	s.RunSequential(dur)
+	wallMs := runW.ms()
+	checkDrained(s)
+
+	var pkts uint64
+	maxEntries, totalBytes := 0, 0
+	for _, swi := range b.Switches {
+		pkts += swi.RxPackets
+		perIP, prefix := swi.RouteEntries()
+		if perIP+prefix > maxEntries {
+			maxEntries = perIP + prefix
+		}
+		totalBytes += swi.RouteStateBytes()
+	}
+	if r.Hosts == 0 {
+		r.Hosts = m.TotalHosts()
+		r.Switches = len(b.Switches)
+		r.Pods = spec.Pods
+		r.BuildMs = buildMs
+		r.MaxEntries = maxEntries
+		r.BytesPerHost = float64(totalBytes) / float64(m.TotalHosts())
+	}
+
+	rep := eng.Collect()
+	return ScalePhase{
+		Name:       name,
+		Flows:      rep.FlowsStarted,
+		Completed:  rep.FlowsCompleted,
+		Bytes:      rep.BytesSent,
+		FCTMean:    rep.FCT.Mean(),
+		FCTP99:     rep.FCT.Percentile(99),
+		SimPkts:    pkts,
+		WallMs:     wallMs,
+		PktsPerSec: float64(pkts) / (wallMs / 1000),
+	}
+}
+
+// Scale runs the incast and shuffle phases.
+func Scale(opts Options) *ScaleResult {
+	dur := opts.Dur(5*sim.Millisecond, 1*sim.Millisecond)
+	r := &ScaleResult{}
+	r.Phases = append(r.Phases, scalePhase("incast", opts, workload.Spec{
+		Pattern: workload.Incast{Victim: 0},
+		Sizes:   workload.Fixed(20_000),
+		Arrival: workload.Closed{Concurrency: 2},
+		Seed:    opts.Seed,
+	}, 65, dur, r))
+	r.Phases = append(r.Phases, scalePhase("shuffle", opts, workload.Spec{
+		Pattern: workload.Shuffle{},
+		Sizes:   workload.Pareto{Min: 1000, Alpha: 1.3, Max: 500_000},
+		Arrival: workload.Open{FlowsPerSec: 20_000},
+		Seed:    opts.Seed,
+	}, 64, dur, r))
+	return r
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleSmoke is the fast `make scale` gate: a small fat-tree-class
+// Clos (Scale well below 1 floors at 4 pods) must complete incast and
+// shuffle flows with zero frame leaks (checkDrained panics inside Scale
+// otherwise) and O(pods) routing state.
+func TestScaleSmoke(t *testing.T) {
+	opts := Options{Scale: 0.01, Seed: 3}
+	r := Scale(opts)
+	if r.Pods != 4 {
+		t.Fatalf("Pods = %d, want floor 4", r.Pods)
+	}
+	if r.Hosts != 4*32*32 {
+		t.Fatalf("Hosts = %d, want 4096", r.Hosts)
+	}
+	if r.MaxEntries > r.Pods+32+2 {
+		t.Fatalf("max routing entries %d not O(pods)", r.MaxEntries)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %d, want incast + shuffle", len(r.Phases))
+	}
+	for _, p := range r.Phases {
+		if p.Completed == 0 {
+			t.Fatalf("%s: no flows completed", p.Name)
+		}
+		if p.SimPkts == 0 {
+			t.Fatalf("%s: no packets moved", p.Name)
+		}
+		if p.FCTMean <= 0 {
+			t.Fatalf("%s: non-positive mean FCT %v", p.Name, p.FCTMean)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "incast") || !strings.Contains(out, "shuffle") {
+		t.Fatalf("render missing phases:\n%s", out)
+	}
+}

@@ -66,6 +66,16 @@ type Network struct {
 	// forwarded packet.
 	SwitchLatency sim.Time
 
+	// partitionRouted marks a network built as one partition of a
+	// multi-partition topology: its routes were installed globally by
+	// Topology.Build and point through boundary links ComputeRoutes cannot
+	// see. prefixRouted marks a network whose reachability lives in the
+	// aggregate tier. Either makes ComputeRoutes refuse to run — rewriting
+	// the tables locally would silently break cross-partition or aggregate
+	// forwarding.
+	partitionRouted bool
+	prefixRouted    bool
+
 	started bool
 }
 

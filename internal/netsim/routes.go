@@ -4,10 +4,25 @@ import "repro/internal/proto"
 
 // ComputeRoutes installs shortest-path routes on every switch for every
 // host and external-port address in this network. Paths are computed with
-// BFS over the switch graph; ties resolve deterministically by switch and
-// interface order (single-path routing — the simulator does not model
-// ECMP).
+// BFS over the switch graph; equal-cost next hops are spread per
+// destination address with the same deterministic hash Topology.Build
+// uses (static ECMP), so a hand-wired network forwards identically to the
+// same fabric built through a Topology.
+//
+// ComputeRoutes panics on a network produced as one partition of a
+// multi-partition Topology.Build, or one carrying aggregate (prefix)
+// routes: those tables encode global reachability this local computation
+// cannot reconstruct, and rewriting them used to silently collapse ECMP
+// to single-path and strand cross-partition destinations.
 func (n *Network) ComputeRoutes() {
+	if n.partitionRouted {
+		panic("netsim: ComputeRoutes on a partition of a multi-partition topology; " +
+			"routes were installed globally by Topology.Build and must not be rewritten locally")
+	}
+	if n.prefixRouted {
+		panic("netsim: ComputeRoutes on a prefix-routed network; " +
+			"aggregate routes were installed by Topology.Build and must not be rewritten locally")
+	}
 	ns := len(n.switches)
 	idx := make(map[*Switch]int, ns)
 	for i, s := range n.switches {
@@ -18,62 +33,58 @@ func (n *Network) ComputeRoutes() {
 		iface int // local iface index
 	}
 	adj := make([][]edge, ns)
-	// toward[v][u] = first iface on v leading to u.
-	toward := make([]map[int]int, ns)
-	for i := range toward {
-		toward[i] = make(map[int]int)
-	}
 	for i, s := range n.switches {
 		for fi, f := range s.ifaces {
 			if f.peer == nil {
 				continue
 			}
 			if ps, ok := f.peer.owner.(*Switch); ok {
-				j := idx[ps]
-				adj[i] = append(adj[i], edge{nb: j, iface: fi})
-				if _, dup := toward[i][j]; !dup {
-					toward[i][j] = fi
-				}
+				adj[i] = append(adj[i], edge{nb: idx[ps], iface: fi})
 			}
 		}
 	}
 
-	// next[s][t]: iface on switch s toward switch t; -1 if unreachable.
-	next := make([][]int, ns)
-	for i := range next {
-		next[i] = make([]int, ns)
-		for j := range next[i] {
-			next[i][j] = -1
-		}
-	}
-	for t := 0; t < ns; t++ {
-		visited := make([]bool, ns)
-		visited[t] = true
-		queue := []int{t}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, e := range adj[u] {
-				v := e.nb
-				if visited[v] {
-					continue
-				}
-				visited[v] = true
-				next[v][t] = toward[v][u]
-				queue = append(queue, v)
-			}
-		}
-	}
+	// Reusable BFS state: one distance array and an index-cursor queue
+	// (popping with queue[1:] kept the whole backing array live and
+	// reallocated it per destination).
+	dist := make([]int, ns)
+	queue := make([]int, 0, ns)
+	cands := make([]int, 0, 8)
 
 	install := func(attached *Switch, directIface int, ips []proto.IP) {
 		ti := idx[attached]
-		for si, s := range n.switches {
-			for _, ip := range ips {
-				if si == ti {
-					s.SetRoute(ip, directIface)
-				} else if nf := next[si][ti]; nf >= 0 {
-					s.SetRoute(ip, nf)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[ti] = 0
+		queue = append(queue[:0], ti)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, e := range adj[u] {
+				if dist[e.nb] < 0 {
+					dist[e.nb] = dist[u] + 1
+					queue = append(queue, e.nb)
 				}
+			}
+		}
+		for si, s := range n.switches {
+			if si == ti {
+				for _, ip := range ips {
+					s.SetRoute(ip, directIface)
+				}
+				continue
+			}
+			if dist[si] < 0 {
+				continue
+			}
+			cands = cands[:0]
+			for _, e := range adj[si] {
+				if dist[e.nb] == dist[si]-1 {
+					cands = append(cands, e.iface)
+				}
+			}
+			for _, ip := range ips {
+				s.SetRoute(ip, cands[ecmpHash(ip)%uint64(len(cands))])
 			}
 		}
 	}
@@ -83,14 +94,7 @@ func (n *Network) ComputeRoutes() {
 		install(sw, fi, []proto.IP{h.ip})
 	}
 	for _, p := range n.exts {
-		fi := -1
-		for i, f := range p.sw.ifaces {
-			if f == p.iface {
-				fi = i
-				break
-			}
-		}
-		install(p.sw, fi, p.ips)
+		install(p.sw, switchIfaceIndex(p.sw, p.iface), p.ips)
 	}
 }
 
@@ -103,10 +107,5 @@ func (n *Network) attachment(hostIface *Iface) (*Switch, int) {
 	if !ok {
 		panic("netsim: host attached to non-switch")
 	}
-	for i, f := range sw.ifaces {
-		if f == hostIface.peer {
-			return sw, i
-		}
-	}
-	panic("netsim: inconsistent attachment")
+	return sw, switchIfaceIndex(sw, hostIface.peer)
 }

@@ -29,17 +29,29 @@ type flowEntry struct {
 	ok  bool
 }
 
-// Switch is an output-queued IP switch with static routes, an optional
-// programmable dataplane, and optional PTP transparent-clock support.
+// Switch is an output-queued IP switch with static routes (a per-IP map
+// plus a longest-prefix aggregate tier), an optional programmable
+// dataplane, and optional PTP transparent-clock support.
 type Switch struct {
 	net    *Network
 	name   string
 	ifaces []*Iface
 	routes map[proto.IP]int
 
-	// fcache short-circuits the routes map on the forwarding hot path. It
-	// is a pure cache over routes — lookups through it are behavior-
-	// identical to the map — and every topology or route mutation clears it.
+	// The aggregate tier under the per-IP map: prefixes[bits] maps a
+	// masked address to its equal-cost next-hop candidates, and
+	// prefixLens holds the lengths present, longest first, so a lookup is
+	// one map probe per distinct length (datacenter fabrics use two or
+	// three: leaf, pod, default). An empty candidate slice is an explicit
+	// blackhole — the match consumes the packet as unroutable rather than
+	// letting a shorter prefix bounce it back into the fabric.
+	prefixes   map[uint8]map[proto.IP][]int32
+	prefixLens []uint8
+
+	// fcache short-circuits the route tables on the forwarding hot path. It
+	// is a pure cache over the per-IP map and prefix tier — lookups through
+	// it are behavior-identical — and every topology or route mutation
+	// clears it.
 	fcache [flowCacheSize]flowEntry
 
 	// Dataplane, when non-nil, processes every received frame.
@@ -79,14 +91,79 @@ func (s *Switch) SetRoute(ip proto.IP, out int) {
 	s.invalidateFlowCache()
 }
 
-// Route returns the next-hop interface index for ip.
+// SetPrefixRoute installs equal-cost next-hop candidates for a CIDR
+// aggregate. A packet whose longest match is this prefix picks one
+// candidate by the deterministic per-destination hash (static ECMP, the
+// same rule Topology.Build applies to per-IP routes). No candidates means
+// an explicit blackhole: addresses inside the prefix with no longer match
+// are dropped here instead of looping through shorter aggregates.
+func (s *Switch) SetPrefixRoute(p proto.Prefix, outs ...int) {
+	cands := make([]int32, len(outs))
+	for i, out := range outs {
+		if out < 0 || out >= len(s.ifaces) {
+			panic(fmt.Sprintf("netsim: %s: prefix route %v via invalid iface %d", s.name, p, out))
+		}
+		cands[i] = int32(out)
+	}
+	if s.prefixes == nil {
+		s.prefixes = make(map[uint8]map[proto.IP][]int32)
+	}
+	m := s.prefixes[p.Bits]
+	if m == nil {
+		m = make(map[proto.IP][]int32)
+		s.prefixes[p.Bits] = m
+		// Keep the present lengths sorted longest-first.
+		at := len(s.prefixLens)
+		for i, l := range s.prefixLens {
+			if p.Bits > l {
+				at = i
+				break
+			}
+		}
+		s.prefixLens = append(s.prefixLens, 0)
+		copy(s.prefixLens[at+1:], s.prefixLens[at:])
+		s.prefixLens[at] = p.Bits
+	}
+	m[p.Addr.Masked(p.Bits)] = cands
+	s.invalidateFlowCache()
+}
+
+// ecmpHash is the per-destination spreading hash shared by every equal-cost
+// choice in the simulator (topology build, prefix tier, ComputeRoutes), so
+// any of them installed for the same candidate set forwards identically.
+func ecmpHash(ip proto.IP) uint64 {
+	return uint64(ip) * 0x9e3779b97f4a7c15 >> 32
+}
+
+// Route returns the next-hop interface index ip resolves to — per-IP map
+// first, then the longest-prefix tier — without touching the flow cache or
+// hit counters. The second result is false for unroutable addresses and
+// blackholed aggregates.
 func (s *Switch) Route(ip proto.IP) (int, bool) {
-	out, ok := s.routes[ip]
-	return out, ok
+	if out, ok := s.routes[ip]; ok {
+		return out, true
+	}
+	return s.lookupPrefix(ip)
+}
+
+// lookupPrefix resolves ip through the aggregate tier, longest prefix
+// first, spreading equal-cost candidates with the per-destination hash.
+func (s *Switch) lookupPrefix(ip proto.IP) (int, bool) {
+	for _, bits := range s.prefixLens {
+		cands, ok := s.prefixes[bits][ip.Masked(bits)]
+		if !ok {
+			continue
+		}
+		if len(cands) == 0 {
+			return 0, false // explicit blackhole
+		}
+		return int(cands[ecmpHash(ip)%uint64(len(cands))]), true
+	}
+	return 0, false
 }
 
 // lookup resolves the next hop for ip through the flow cache, falling back
-// to (and refilling from) the routes map on a miss.
+// to (and refilling from) the per-IP map and prefix tier on a miss.
 func (s *Switch) lookup(ip proto.IP) (int, bool) {
 	e := &s.fcache[uint32(ip)&(flowCacheSize-1)]
 	if e.ok && e.ip == ip {
@@ -94,10 +171,39 @@ func (s *Switch) lookup(ip proto.IP) (int, bool) {
 		return int(e.out), true
 	}
 	out, ok := s.routes[ip]
+	if !ok {
+		out, ok = s.lookupPrefix(ip)
+	}
 	if ok {
 		*e = flowEntry{ip: ip, out: int32(out), ok: true}
 	}
 	return out, ok
+}
+
+// RouteEntries returns the resident routing-table sizes: exact per-IP
+// entries and aggregate (prefix) entries. The scale tests assert the
+// aggregate build keeps perIP+prefix O(pods), not O(hosts).
+func (s *Switch) RouteEntries() (perIP, prefix int) {
+	perIP = len(s.routes)
+	for _, m := range s.prefixes {
+		prefix += len(m)
+	}
+	return perIP, prefix
+}
+
+// RouteStateBytes estimates the bytes of routing state this switch holds:
+// map-entry overhead for per-IP routes plus key, slice header, and
+// candidate storage for each aggregate. An estimate, but a consistent one —
+// the scale benchmarks track it per host across revisions.
+func (s *Switch) RouteStateBytes() int {
+	const mapEntry = 16 // ~IP key + int value, amortized bucket overhead
+	bytes := len(s.routes) * mapEntry
+	for _, m := range s.prefixes {
+		for _, cands := range m {
+			bytes += 8 + 24 + 4*len(cands) // key + slice header + outs
+		}
+	}
+	return bytes
 }
 
 // invalidateFlowCache clears every cached forwarding decision. Called on any

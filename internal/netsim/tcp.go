@@ -50,3 +50,10 @@ func NewFlow(src, dst *Host, sport, dport uint16, algo CCAlgo, bytes int64, onDo
 func (h *Host) RegisterTCP(remote proto.IP, rport, lport uint16, c *TCPConn) {
 	h.tcpConns[tcpKey{remote: remote, rport: rport, lport: lport}] = c
 }
+
+// UnregisterTCP removes a conn from the demux table. Workloads that churn
+// through many short flows tear each one down on completion so the table
+// does not grow without bound.
+func (h *Host) UnregisterTCP(remote proto.IP, rport, lport uint16) {
+	delete(h.tcpConns, tcpKey{remote: remote, rport: rport, lport: lport})
+}

@@ -17,6 +17,11 @@ type Topology struct {
 	Switches []TopoSwitch
 	Hosts    []TopoHost
 	Links    []TopoLink
+	// Prefixes, when non-empty, switches Build into hierarchical routing:
+	// per-IP routes are installed only on each host's owning switch, and
+	// these aggregates cover remote reachability with O(prefixes-in-scope)
+	// state per switch instead of O(hosts).
+	Prefixes []TopoPrefix
 }
 
 // TopoSwitch describes one switch.
@@ -36,6 +41,27 @@ type TopoHost struct {
 	Rate     int64
 	Delay    sim.Time
 	External bool
+	// Lazy marks a slot whose protocol-level host is not instantiated by
+	// Build; Built.MaterializeSlot creates it on first use. Generators mark
+	// the bulk of a 10⁴–10⁵-host fabric lazy so only workload participants
+	// pay host-instantiation cost.
+	Lazy bool
+}
+
+// TopoPrefix declares an aggregate route: every address inside Prefix
+// attaches at (or behind) one of the listed switches. Build installs one
+// prefix entry per switch with equal-cost candidates toward the nearest
+// member (multi-source BFS), and an explicit blackhole on the members
+// themselves so unknown addresses inside the aggregate die there instead
+// of looping.
+type TopoPrefix struct {
+	Prefix   proto.Prefix
+	Switches []int
+	// Scope limits installation to the listed switches (members always get
+	// their blackhole); nil installs on every switch. Generators scope leaf
+	// aggregates to their pod so per-switch state stays O(pods), not
+	// O(leaves).
+	Scope []int
 }
 
 // TopoLink is a switch-to-switch link.
@@ -63,8 +89,33 @@ func (t *Topology) AddLink(a, b int, rate int64, delay sim.Time) int {
 	return len(t.Links) - 1
 }
 
+// AddLazyHost appends a host slot that Build leaves uninstantiated until
+// Built.MaterializeSlot is called for it.
+func (t *Topology) AddLazyHost(name string, ip proto.IP, sw int, rate int64, delay sim.Time) int {
+	t.Hosts = append(t.Hosts, TopoHost{Name: name, IP: ip, Switch: sw, Rate: rate, Delay: delay, Lazy: true})
+	return len(t.Hosts) - 1
+}
+
+// AddAggregate appends an aggregate route whose addresses live at (or
+// behind) the given switches, installed on every switch in scope (nil =
+// all). It returns the aggregate's index.
+func (t *Topology) AddAggregate(p proto.Prefix, switches []int, scope []int) int {
+	if len(switches) == 0 {
+		panic("netsim: aggregate " + p.String() + " has no member switches")
+	}
+	t.Prefixes = append(t.Prefixes, TopoPrefix{Prefix: p, Switches: switches, Scope: scope})
+	return len(t.Prefixes) - 1
+}
+
+// Hierarchical reports whether Build will install aggregate (prefix)
+// routes instead of global per-IP routes.
+func (t *Topology) Hierarchical() bool { return len(t.Prefixes) > 0 }
+
 // MakeExternal converts host slot i into a detailed-host attachment point.
 func (t *Topology) MakeExternal(i int) {
+	if t.Hosts[i].Lazy {
+		panic("netsim: lazy host slot cannot be external")
+	}
 	t.Hosts[i].External = true
 }
 
@@ -96,6 +147,45 @@ type Built struct {
 	SwitchPart []int
 	// Boundaries lists cross-partition links to be wired by decomp.
 	Boundaries []Boundary
+
+	// topo is the topology this Built instantiates; MaterializeSlot reads
+	// lazy slots' parameters from it.
+	topo *Topology
+}
+
+// MaterializeSlot instantiates lazy host slot i on first use: the host, its
+// access link, and the direct route on the owning switch (remote
+// reachability is already covered — by aggregates in hierarchical mode, by
+// the per-IP routes Build installs regardless of laziness in flat mode).
+// It is idempotent and must run before the simulation starts for the
+// host's app to be started.
+func (b *Built) MaterializeSlot(i int) *Host {
+	if h := b.Hosts[i]; h != nil {
+		return h
+	}
+	th := b.topo.Hosts[i]
+	if !th.Lazy {
+		panic(fmt.Sprintf("netsim: slot %d (%s) is not a lazy host", i, th.Name))
+	}
+	if b.topo.Hierarchical() {
+		covered := false
+		for _, p := range b.topo.Prefixes {
+			if p.Prefix.Contains(th.IP) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			panic(fmt.Sprintf("netsim: lazy host %s (%v) is not covered by any aggregate", th.Name, th.IP))
+		}
+	}
+	net := b.Parts[b.HostPart[i]]
+	sw := b.Switches[th.Switch]
+	h := net.AddHost(th.Name, th.IP)
+	fi := net.ConnectHostSwitch(h, sw, th.Rate, th.Delay)
+	sw.SetRoute(th.IP, fi)
+	b.Hosts[i] = h
+	return h
 }
 
 // Build instantiates the topology across partitions.
@@ -128,6 +218,7 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 		Exts:       make(map[int]*ExtPort),
 		Switches:   make([]*Switch, len(t.Switches)),
 		SwitchPart: append([]int(nil), assign...),
+		topo:       t,
 	}
 	for p := 0; p < nparts; p++ {
 		b.Parts[p] = New(namer(p), seed)
@@ -138,21 +229,22 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 		b.Switches[i] = sw
 	}
 
-	// hostIface[i] = switch-local iface index serving host slot i.
+	// hostIface[i] = switch-local iface index serving host slot i
+	// (-1 for lazy slots, whose access link does not exist yet).
 	hostIface := make([]int, len(t.Hosts))
 	for i, th := range t.Hosts {
 		part := assign[th.Switch]
 		b.HostPart[i] = part
 		net := b.Parts[part]
 		sw := b.Switches[th.Switch]
+		if th.Lazy {
+			hostIface[i] = -1
+			continue
+		}
 		if th.External {
 			p := net.AddExternal(sw, th.Name, th.Rate, th.IP)
 			b.Exts[i] = p
-			for fi, f := range sw.ifaces {
-				if f == p.iface {
-					hostIface[i] = fi
-				}
-			}
+			hostIface[i] = switchIfaceIndex(sw, p.iface)
 			continue
 		}
 		h := net.AddHost(th.Name, th.IP)
@@ -175,19 +267,19 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 		eb := b.Parts[pb].AddExternal(sb, fmt.Sprintf("x%d.b", li), l.Rate)
 		ea.SetEncode(true)
 		eb.SetEncode(true)
-		var ai, bi int
-		for fi, f := range sa.ifaces {
-			if f == ea.iface {
-				ai = fi
-			}
-		}
-		for fi, f := range sb.ifaces {
-			if f == eb.iface {
-				bi = fi
-			}
-		}
-		linkIface[li] = pair{ai, bi}
+		linkIface[li] = pair{switchIfaceIndex(sa, ea.iface), switchIfaceIndex(sb, eb.iface)}
 		b.Boundaries = append(b.Boundaries, Boundary{Link: li, PartA: pa, PartB: pb, PortA: ea, PortB: eb})
+	}
+
+	if nparts > 1 {
+		for _, p := range b.Parts {
+			p.partitionRouted = true
+		}
+	}
+	if t.Hierarchical() {
+		for _, p := range b.Parts {
+			p.prefixRouted = true
+		}
 	}
 
 	t.installGlobalRoutes(b, hostIface, func(li int) (int, int) {
@@ -197,66 +289,222 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 	return b
 }
 
+// switchIfaceIndex returns the index of f among sw's interfaces. A missing
+// interface is a wiring bug — Build used to fall back silently to iface 0
+// here, turning it into misrouting — so it panics instead.
+func switchIfaceIndex(sw *Switch, f *Iface) int {
+	for fi, g := range sw.ifaces {
+		if g == f {
+			return fi
+		}
+	}
+	panic(fmt.Sprintf("netsim: iface %s not found on switch %s", f.name, sw.name))
+}
+
+// topoBFS holds the reusable breadth-first-search state for route
+// installation: one dist array, one index-cursor queue (the old
+// `queue = queue[1:]` pop retained the whole backing array per target and
+// reallocated per destination), and one candidate buffer, shared across
+// every destination so generator-scale route computation does not thrash
+// the allocator.
+type topoBFS struct {
+	adj   [][]topoEdge
+	dist  []int
+	queue []int
+	cands []int
+}
+
+type topoEdge struct {
+	nb    int
+	iface int // local iface index on this switch for this link
+}
+
+// run fills dist from the seed set (multi-source, all seeds at distance 0).
+// When need is non-nil, the search stops as soon as the needCount marked
+// switches have been popped — by then every popped switch's shortest-path
+// predecessors have final distances, which is all candidates() reads.
+func (s *topoBFS) run(seeds []int, need []bool, needCount int) {
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	s.queue = s.queue[:0]
+	for _, sd := range seeds {
+		if s.dist[sd] == 0 {
+			continue // duplicate seed
+		}
+		s.dist[sd] = 0
+		s.queue = append(s.queue, sd)
+	}
+	remaining := needCount
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		if need != nil && need[u] {
+			if remaining--; remaining == 0 {
+				return
+			}
+		}
+		for _, e := range s.adj[u] {
+			if s.dist[e.nb] < 0 {
+				s.dist[e.nb] = s.dist[u] + 1
+				s.queue = append(s.queue, e.nb)
+			}
+		}
+	}
+}
+
+// candidates returns the ifaces on v that start a shortest path toward the
+// last run's seed set, in adjacency order (the deterministic ECMP
+// candidate order). The returned slice aliases the reusable buffer.
+func (s *topoBFS) candidates(v int) []int {
+	s.cands = s.cands[:0]
+	for _, e := range s.adj[v] {
+		if s.dist[e.nb] == s.dist[v]-1 {
+			s.cands = append(s.cands, e.iface)
+		}
+	}
+	return s.cands
+}
+
 // installGlobalRoutes computes shortest paths on the whole topology and
 // installs next hops on every switch in every partition. Equal-cost paths
 // are spread per destination address (deterministic hash), the static
 // analog of ECMP — essential for fat trees, whose capacity lives in the
 // multiplicity of core paths.
+//
+// Without aggregates, every switch gets a per-IP route for every host
+// (including lazy slots — only the owning switch's direct route waits for
+// MaterializeSlot). BFS state is computed per destination *switch* and
+// streamed — hosts sharing a switch share one search — instead of holding
+// the all-pairs next-hop matrix, so route installation is O(S·E) time and
+// O(S) transient memory.
+//
+// With aggregates (hierarchical mode), per-IP routes exist only on each
+// host's owning switch; each TopoPrefix gets a multi-source BFS from its
+// member switches and one prefix entry per switch in scope, keeping
+// per-switch state proportional to the number of visible aggregates.
 func (t *Topology) installGlobalRoutes(b *Built, hostIface []int, linkIfaces func(li int) (aIface, bIface int)) {
 	ns := len(t.Switches)
-	type edge struct {
-		nb    int
-		iface int // local iface index on this switch for this link
+	bfs := &topoBFS{
+		adj:  make([][]topoEdge, ns),
+		dist: make([]int, ns),
 	}
-	adj := make([][]edge, ns)
 	for li, l := range t.Links {
 		ai, bi := linkIfaces(li)
-		adj[l.A] = append(adj[l.A], edge{nb: l.B, iface: ai})
-		adj[l.B] = append(adj[l.B], edge{nb: l.A, iface: bi})
+		bfs.adj[l.A] = append(bfs.adj[l.A], topoEdge{nb: l.B, iface: ai})
+		bfs.adj[l.B] = append(bfs.adj[l.B], topoEdge{nb: l.A, iface: bi})
 	}
-	// nexts[s][t] = all ifaces on s that start a shortest path toward t.
-	nexts := make([][][]int, ns)
-	for i := range nexts {
-		nexts[i] = make([][]int, ns)
+
+	if !t.Hierarchical() {
+		t.installFlatRoutes(b, hostIface, bfs)
+		return
 	}
-	dist := make([]int, ns)
-	for target := 0; target < ns; target++ {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[target] = 0
-		queue := []int{target}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, e := range adj[u] {
-				if dist[e.nb] < 0 {
-					dist[e.nb] = dist[u] + 1
-					queue = append(queue, e.nb)
-				}
+
+	// Hierarchical mode. Direct routes on each owning switch (lazy slots
+	// get theirs at MaterializeSlot), with a loud coverage check: a host
+	// address no aggregate contains would be silently unreachable remotely.
+	for hi, th := range t.Hosts {
+		covered := false
+		for _, p := range t.Prefixes {
+			if p.Prefix.Contains(th.IP) {
+				covered = true
+				break
 			}
 		}
-		for v := 0; v < ns; v++ {
-			if v == target || dist[v] < 0 {
-				continue
-			}
-			for _, e := range adj[v] {
-				if dist[e.nb] == dist[v]-1 {
-					nexts[v][target] = append(nexts[v][target], e.iface)
-				}
-			}
+		if !covered {
+			panic(fmt.Sprintf("netsim: hierarchical build: host %s (%v) is not covered by any aggregate",
+				th.Name, th.IP))
+		}
+		if hostIface[hi] >= 0 {
+			b.Switches[th.Switch].SetRoute(th.IP, hostIface[hi])
 		}
 	}
 
+	need := make([]bool, ns)
+	marked := make([]int, 0, ns)
+	for _, p := range t.Prefixes {
+		var needCount int
+		if p.Scope != nil {
+			mark := func(si int) {
+				if !need[si] {
+					need[si] = true
+					marked = append(marked, si)
+					needCount++
+				}
+			}
+			for _, si := range p.Scope {
+				mark(si)
+			}
+			for _, si := range p.Switches {
+				mark(si)
+			}
+			bfs.run(p.Switches, need, needCount)
+		} else {
+			bfs.run(p.Switches, nil, 0)
+		}
+
+		install := func(v int) {
+			switch d := bfs.dist[v]; {
+			case d < 0:
+				// Unreachable from the aggregate's members — a partition
+				// that genuinely cannot see them; leave no entry.
+			case d == 0:
+				// Member switch: unknown addresses inside the aggregate die
+				// here rather than bouncing off a shorter prefix.
+				b.Switches[v].SetPrefixRoute(p.Prefix)
+			default:
+				b.Switches[v].SetPrefixRoute(p.Prefix, bfs.candidates(v)...)
+			}
+		}
+		if p.Scope != nil {
+			for _, v := range p.Scope {
+				install(v)
+			}
+			for _, v := range p.Switches {
+				install(v) // members outside the scope still blackhole
+			}
+			for _, si := range marked {
+				need[si] = false
+			}
+			marked = marked[:0]
+		} else {
+			for v := 0; v < ns; v++ {
+				install(v)
+			}
+		}
+	}
+}
+
+// installFlatRoutes is the classic per-IP mode: one BFS per destination
+// switch, streamed, hashed-spread over equal-cost candidates.
+func (t *Topology) installFlatRoutes(b *Built, hostIface []int, bfs *topoBFS) {
+	ns := len(t.Switches)
+	bySwitch := make([][]int, ns) // host slot indices per owning switch
 	for hi, th := range t.Hosts {
-		tgt := th.Switch
-		h := uint64(th.IP) * 0x9e3779b97f4a7c15 >> 32
-		for si := range t.Switches {
-			sw := b.Switches[si]
-			if si == tgt {
-				sw.SetRoute(th.IP, hostIface[hi])
-			} else if cands := nexts[si][tgt]; len(cands) > 0 {
-				sw.SetRoute(th.IP, cands[h%uint64(len(cands))])
+		bySwitch[th.Switch] = append(bySwitch[th.Switch], hi)
+	}
+	for tgt := 0; tgt < ns; tgt++ {
+		slots := bySwitch[tgt]
+		if len(slots) == 0 {
+			continue
+		}
+		bfs.run([]int{tgt}, nil, 0)
+		for _, hi := range slots {
+			if fi := hostIface[hi]; fi >= 0 {
+				b.Switches[tgt].SetRoute(t.Hosts[hi].IP, fi)
+			}
+		}
+		for v := 0; v < ns; v++ {
+			if v == tgt || bfs.dist[v] < 0 {
+				continue
+			}
+			cands := bfs.candidates(v)
+			if len(cands) == 0 {
+				continue
+			}
+			sw := b.Switches[v]
+			for _, hi := range slots {
+				ip := t.Hosts[hi].IP
+				sw.SetRoute(ip, cands[ecmpHash(ip)%uint64(len(cands))])
 			}
 		}
 	}

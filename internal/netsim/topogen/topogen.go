@@ -1,0 +1,272 @@
+// Package topogen generates datacenter-scale fabrics for netsim: multi-pod
+// Clos topologies (with the classic k-ary fat tree as a special case), pod-
+// aligned IP addressing, aggregate (prefix) routes that keep per-switch
+// routing state O(pods) instead of O(hosts), and lazy host slots so a
+// 10⁴–10⁵-host fabric only pays instantiation cost for the hosts a workload
+// actually touches.
+package topogen
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// ClosSpec parametrizes a three-tier multi-pod Clos fabric: Pods pods of
+// LeafPerPod leaf (ToR) switches and SpinePerPod spine switches each, joined
+// by a core tier of Cores switches. Within a pod every leaf connects to
+// every spine; spine j of every pod connects to the core group
+// [j·g, (j+1)·g) where g = Cores/SpinePerPod, so any two pods are two hops
+// apart through g parallel cores per spine pair.
+type ClosSpec struct {
+	Pods         int
+	LeafPerPod   int
+	SpinePerPod  int
+	Cores        int // multiple of SpinePerPod; 0 allowed when Pods == 1
+	HostsPerLeaf int
+
+	HostRate int64 // host access links
+	LeafRate int64 // leaf↔spine links; 0 derives from Oversub
+	CoreRate int64 // spine↔core links; 0 copies LeafRate
+
+	// Oversub is the leaf oversubscription ratio: downlink capacity
+	// (HostsPerLeaf·HostRate) over uplink capacity (SpinePerPod·LeafRate).
+	// Used only when LeafRate is 0; 0 means 1:1 (non-blocking).
+	Oversub float64
+
+	LinkDelay sim.Time
+
+	// Lazy leaves every host slot uninstantiated until
+	// Built.MaterializeSlot; mandatory in practice beyond ~10⁴ hosts.
+	Lazy bool
+
+	// FlatRoutes suppresses aggregates and installs classic per-IP routes
+	// on every switch. O(hosts·switches) state — only viable for small
+	// instances; it exists so tests can compare prefix and per-IP routing
+	// on the same fabric.
+	FlatRoutes bool
+}
+
+// FatTree returns the spec of a k-ary fat tree (k even): k pods of k/2
+// leaves and k/2 spines, (k/2)² cores, k/2 hosts per leaf — k³/4 hosts
+// total, non-blocking.
+func FatTree(k int, hostRate, fabricRate int64, delay sim.Time, lazy bool) ClosSpec {
+	if k%2 != 0 || k < 2 {
+		panic("topogen: fat tree needs even k >= 2")
+	}
+	half := k / 2
+	return ClosSpec{
+		Pods:         k,
+		LeafPerPod:   half,
+		SpinePerPod:  half,
+		Cores:        half * half,
+		HostsPerLeaf: half,
+		HostRate:     hostRate,
+		LeafRate:     fabricRate,
+		CoreRate:     fabricRate,
+		LinkDelay:    delay,
+		Lazy:         lazy,
+	}
+}
+
+// ClosMeta indexes the generated fabric.
+type ClosMeta struct {
+	Spec ClosSpec
+
+	Core      []int     // core switch indices
+	Spine     [][]int   // [pod][j] spine switch indices
+	Leaf      [][]int   // [pod][l] leaf switch indices
+	HostSlots [][][]int // [pod][leaf][i] host slot indices
+
+	// PodPrefix[p] aggregates every address in pod p; LeafPrefix[p][l]
+	// aggregates one leaf's block. Derivable from the bit layout but kept
+	// explicit for tests and tooling.
+	PodPrefix  []proto.Prefix
+	LeafPrefix [][]proto.Prefix
+
+	hostBits, leafBits, podBits uint
+}
+
+// bitsFor returns the smallest b with 1<<b >= n.
+func bitsFor(n int) uint {
+	b := uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// HostIP returns the pod-aligned address of host i (0-based) on leaf l of
+// pod p: 10.<pod bits><leaf bits><host bits>, host index starting at 1 so a
+// leaf's block base is never a host address.
+func (m *ClosMeta) HostIP(pod, leaf, i int) proto.IP {
+	return proto.IP(0x0a000000 |
+		uint32(pod)<<(m.leafBits+m.hostBits) |
+		uint32(leaf)<<m.hostBits |
+		uint32(i+1))
+}
+
+// TotalHosts returns the number of host slots in the fabric.
+func (m *ClosMeta) TotalHosts() int {
+	return m.Spec.Pods * m.Spec.LeafPerPod * m.Spec.HostsPerLeaf
+}
+
+// PodSwitches returns the switch indices of pod p (leaves then spines).
+func (m *ClosMeta) PodSwitches(pod int) []int {
+	out := make([]int, 0, len(m.Leaf[pod])+len(m.Spine[pod]))
+	out = append(out, m.Leaf[pod]...)
+	out = append(out, m.Spine[pod]...)
+	return out
+}
+
+// AssignByPod maps the fabric onto parts partitions for Topology.Build:
+// each pod's switches land together on partition pod·parts/Pods, and cores
+// spread proportionally. Hosts follow their leaf automatically.
+func (m *ClosMeta) AssignByPod(parts int) []int {
+	n := len(m.Core)
+	for _, pod := range m.Spine {
+		n += len(pod)
+	}
+	for _, pod := range m.Leaf {
+		n += len(pod)
+	}
+	assign := make([]int, n)
+	for p := 0; p < m.Spec.Pods; p++ {
+		part := p * parts / m.Spec.Pods
+		for _, s := range m.PodSwitches(p) {
+			assign[s] = part
+		}
+	}
+	for i, c := range m.Core {
+		if len(m.Core) > 0 {
+			assign[c] = i * parts / len(m.Core)
+		}
+	}
+	return assign
+}
+
+// Clos generates the fabric as a netsim Topology plus its index. The
+// address plan packs pod, leaf, and host fields into the low 24 bits of
+// 10.0.0.0/8; aggregates (unless FlatRoutes) are one scoped prefix per leaf
+// (visible inside its pod) and one global prefix per pod (targeting the
+// pod's spines), so every switch holds O(Pods + LeafPerPod) routing entries
+// regardless of host count.
+func Clos(spec ClosSpec) (*netsim.Topology, *ClosMeta) {
+	if spec.Pods < 1 || spec.LeafPerPod < 1 || spec.SpinePerPod < 1 || spec.HostsPerLeaf < 1 {
+		panic("topogen: Pods, LeafPerPod, SpinePerPod, HostsPerLeaf must all be >= 1")
+	}
+	if spec.Cores == 0 && spec.Pods > 1 {
+		panic("topogen: multi-pod Clos needs a core tier")
+	}
+	if spec.Cores > 0 && spec.Cores%spec.SpinePerPod != 0 {
+		panic(fmt.Sprintf("topogen: Cores (%d) must be a multiple of SpinePerPod (%d)",
+			spec.Cores, spec.SpinePerPod))
+	}
+	if spec.LeafRate == 0 {
+		over := spec.Oversub
+		if over == 0 {
+			over = 1
+		}
+		spec.LeafRate = int64(float64(spec.HostsPerLeaf)*float64(spec.HostRate) /
+			(float64(spec.SpinePerPod) * over))
+		if spec.LeafRate <= 0 {
+			panic("topogen: derived LeafRate is not positive")
+		}
+	}
+	if spec.CoreRate == 0 {
+		spec.CoreRate = spec.LeafRate
+	}
+
+	m := &ClosMeta{
+		Spec:     spec,
+		hostBits: bitsFor(spec.HostsPerLeaf + 1),
+		leafBits: bitsFor(spec.LeafPerPod),
+		podBits:  bitsFor(spec.Pods),
+	}
+	if m.hostBits+m.leafBits+m.podBits > 24 {
+		panic(fmt.Sprintf("topogen: address plan needs %d bits, only 24 available in 10.0.0.0/8",
+			m.hostBits+m.leafBits+m.podBits))
+	}
+
+	t := &netsim.Topology{}
+	for c := 0; c < spec.Cores; c++ {
+		m.Core = append(m.Core, t.AddSwitch(fmt.Sprintf("core%d", c)))
+	}
+	g := 0
+	if spec.Cores > 0 {
+		g = spec.Cores / spec.SpinePerPod
+	}
+	for p := 0; p < spec.Pods; p++ {
+		var spines, leaves []int
+		for j := 0; j < spec.SpinePerPod; j++ {
+			spines = append(spines, t.AddSwitch(fmt.Sprintf("spine%d.%d", p, j)))
+		}
+		for l := 0; l < spec.LeafPerPod; l++ {
+			leaves = append(leaves, t.AddSwitch(fmt.Sprintf("leaf%d.%d", p, l)))
+		}
+		for _, lf := range leaves {
+			for _, sp := range spines {
+				t.AddLink(lf, sp, spec.LeafRate, spec.LinkDelay)
+			}
+		}
+		for j, sp := range spines {
+			for c := 0; c < g; c++ {
+				t.AddLink(sp, m.Core[j*g+c], spec.CoreRate, spec.LinkDelay)
+			}
+		}
+
+		podHosts := make([][]int, spec.LeafPerPod)
+		leafPrefixes := make([]proto.Prefix, spec.LeafPerPod)
+		for l, lf := range leaves {
+			leafPrefixes[l] = proto.MakePrefix(m.HostIP(p, l, 0), 32-int(m.hostBits))
+			for i := 0; i < spec.HostsPerLeaf; i++ {
+				ip := m.HostIP(p, l, i)
+				name := fmt.Sprintf("h%d.%d.%d", p, l, i)
+				var hi int
+				if spec.Lazy {
+					hi = t.AddLazyHost(name, ip, lf, spec.HostRate, spec.LinkDelay)
+				} else {
+					hi = t.AddHost(name, ip, lf, spec.HostRate, spec.LinkDelay)
+				}
+				podHosts[l] = append(podHosts[l], hi)
+			}
+		}
+		m.Spine = append(m.Spine, spines)
+		m.Leaf = append(m.Leaf, leaves)
+		m.HostSlots = append(m.HostSlots, podHosts)
+		m.PodPrefix = append(m.PodPrefix,
+			proto.MakePrefix(m.HostIP(p, 0, 0), 32-int(m.hostBits+m.leafBits)))
+		m.LeafPrefix = append(m.LeafPrefix, leafPrefixes)
+	}
+
+	if !spec.FlatRoutes {
+		for p := 0; p < spec.Pods; p++ {
+			if spec.LeafPerPod == 1 {
+				// leafBits is 0, so the leaf block IS the pod block; a
+				// scoped leaf aggregate plus a same-length pod aggregate
+				// would collide (the pod blackhole at the spines would
+				// shadow the leaf route). Install one global aggregate
+				// per pod targeting its single leaf instead.
+				t.AddAggregate(m.LeafPrefix[p][0], []int{m.Leaf[p][0]}, nil)
+				continue
+			}
+			podScope := m.PodSwitches(p)
+			for l, lf := range m.Leaf[p] {
+				// One leaf aggregate, visible only inside the pod: pod
+				// peers reach the leaf through the spines; everyone else
+				// gets there through the pod aggregate first.
+				t.AddAggregate(m.LeafPrefix[p][l], []int{lf}, podScope)
+			}
+			// One global pod aggregate targeting the pod's spines. In a
+			// single-pod fabric the leaf aggregates already cover
+			// everything and a global spine-target would shadow nothing —
+			// skip it and let unknown pods blackhole by absence.
+			if spec.Pods > 1 {
+				t.AddAggregate(m.PodPrefix[p], m.Spine[p], nil)
+			}
+		}
+	}
+	return t, m
+}

@@ -1,0 +1,257 @@
+package topogen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/netsim/topogen"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+const probePort = 7
+
+// buildAndWire instantiates a Clos topology into an orch simulation.
+func buildAndWire(t *testing.T, topo *netsim.Topology, seed uint64, assign []int) (*orch.Simulation, *netsim.Built) {
+	t.Helper()
+	b := topo.Build("clos", seed, assign, nil)
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, b, true)
+	return s, b
+}
+
+func TestFatTreeSpecShape(t *testing.T) {
+	spec := topogen.FatTree(4, 10*sim.Gbps, 40*sim.Gbps, sim.Microsecond, false)
+	topo, m := topogen.Clos(spec)
+	if got := m.TotalHosts(); got != 16 {
+		t.Fatalf("k=4 fat tree: %d hosts, want 16 (k³/4)", got)
+	}
+	// 4 pods × (2 leaves + 2 spines) + 4 cores.
+	if got, want := len(topo.Switches), 4*(2+2)+4; got != want {
+		t.Fatalf("switches = %d, want %d", got, want)
+	}
+	// Per pod: 2×2 leaf-spine + 2 spines × 2 cores = 8 links; 4 pods.
+	if got, want := len(topo.Links), 4*(2*2+2*2); got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	if len(topo.Hosts) != 16 {
+		t.Fatalf("host slots = %d", len(topo.Hosts))
+	}
+}
+
+func TestAddressPlanIsPodAligned(t *testing.T) {
+	_, m := topogen.Clos(topogen.ClosSpec{
+		Pods: 3, LeafPerPod: 2, SpinePerPod: 2, Cores: 4, HostsPerLeaf: 3,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps,
+		LinkDelay: sim.Microsecond,
+	})
+	seen := map[proto.IP]bool{}
+	for p := 0; p < 3; p++ {
+		for l := 0; l < 2; l++ {
+			for i := 0; i < 3; i++ {
+				ip := m.HostIP(p, l, i)
+				if seen[ip] {
+					t.Fatalf("duplicate address %v", ip)
+				}
+				seen[ip] = true
+				if !m.LeafPrefix[p][l].Contains(ip) {
+					t.Errorf("%v outside its leaf prefix %v", ip, m.LeafPrefix[p][l])
+				}
+				if !m.PodPrefix[p].Contains(ip) {
+					t.Errorf("%v outside its pod prefix %v", ip, m.PodPrefix[p])
+				}
+				for q := 0; q < 3; q++ {
+					if q != p && m.PodPrefix[q].Contains(ip) {
+						t.Errorf("%v inside foreign pod prefix %v", ip, m.PodPrefix[q])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoutingStateIsOPodsAt100kHosts is the tentpole's acceptance bound: a
+// 10⁵-host multi-pod Clos builds with per-switch routing state proportional
+// to pods (+ pod-local leaves), three orders of magnitude below per-host
+// state.
+func TestRoutingStateIsOPodsAt100kHosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-host build in -short mode")
+	}
+	spec := topogen.ClosSpec{
+		Pods: 100, LeafPerPod: 32, SpinePerPod: 8, Cores: 32, HostsPerLeaf: 32,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps, CoreRate: 100 * sim.Gbps,
+		LinkDelay: sim.Microsecond, Lazy: true,
+	}
+	topo, m := topogen.Clos(spec)
+	if got := m.TotalHosts(); got != 102400 {
+		t.Fatalf("TotalHosts = %d, want 102400", got)
+	}
+	b := topo.Build("clos100k", 1, nil, nil)
+
+	bound := spec.Pods + spec.LeafPerPod + 2 // pod aggregates + own pod's leaves + slack
+	maxEntries, totalBytes := 0, 0
+	for _, sw := range b.Switches {
+		perIP, prefix := sw.RouteEntries()
+		if perIP != 0 {
+			t.Fatalf("%s: %d per-IP routes on a lazy hierarchical build", sw.Name(), perIP)
+		}
+		if perIP+prefix > maxEntries {
+			maxEntries = perIP + prefix
+		}
+		totalBytes += sw.RouteStateBytes()
+	}
+	if maxEntries > bound {
+		t.Fatalf("max per-switch routing entries = %d, want <= %d (O(pods), hosts = %d)",
+			maxEntries, bound, m.TotalHosts())
+	}
+	// Flat per-IP routing would hold hosts×switches entries ≈ 64 KB/host;
+	// the aggregate build must stay orders of magnitude below that.
+	perHost := float64(totalBytes) / float64(m.TotalHosts())
+	if perHost > 512 {
+		t.Fatalf("routing state = %.1f B/host, want < 512", perHost)
+	}
+	t.Logf("switches=%d maxEntries=%d routingState=%.1fB/host",
+		len(b.Switches), maxEntries, perHost)
+
+	// Materializing a slot wires the host and its direct route.
+	h := b.MaterializeSlot(m.HostSlots[3][5][7])
+	if h == nil || h.IP() != m.HostIP(3, 5, 7) {
+		t.Fatal("MaterializeSlot returned wrong host")
+	}
+	if b.MaterializeSlot(m.HostSlots[3][5][7]) != h {
+		t.Fatal("MaterializeSlot is not idempotent")
+	}
+}
+
+// probeCounts sends one probe from every host to every other host and
+// returns per-destination delivery counts plus the total NoRoute drops.
+func probeCounts(t *testing.T, spec topogen.ClosSpec, seed uint64) ([]uint64, uint64) {
+	t.Helper()
+	topo, m := topogen.Clos(spec)
+	s, b := buildAndWire(t, topo, seed, nil)
+	n := m.TotalHosts()
+	hosts := make([]*netsim.Host, 0, n)
+	for _, pod := range m.HostSlots {
+		for _, leaf := range pod {
+			for _, slot := range leaf {
+				hosts = append(hosts, b.Hosts[slot])
+			}
+		}
+	}
+	got := make([]uint64, n)
+	for i, h := range hosts {
+		i := i
+		h.BindUDP(probePort, func(proto.IP, uint16, []byte, int) { got[i]++ })
+	}
+	for i, h := range hosts {
+		i, h := i, h
+		h.SetApp(netsim.AppFunc(func(*netsim.Host) {
+			for j, dst := range hosts {
+				if j == i {
+					continue
+				}
+				h.SendUDP(dst.IP(), probePort, probePort, nil, 100)
+			}
+		}))
+	}
+	s.RunSequential(5 * sim.Millisecond)
+	var noRoute uint64
+	for _, sw := range b.Switches {
+		noRoute += sw.NoRoute
+	}
+	if live := s.LiveFrames(); live != 0 {
+		t.Fatalf("%d frames leaked", live)
+	}
+	return got, noRoute
+}
+
+// TestPrefixRouteEquivalence is the satellite property test: on random
+// generated fabrics, aggregate (prefix) routing delivers every frame to
+// exactly the destination per-IP routing delivers it to — full-mesh probes,
+// zero drops, identical per-destination counts.
+func TestPrefixRouteEquivalence(t *testing.T) {
+	rng := sim.NewRand(7)
+	for trial := 0; trial < 4; trial++ {
+		spine := 1 + rng.Intn(2)
+		spec := topogen.ClosSpec{
+			Pods:         2 + rng.Intn(3),
+			LeafPerPod:   1 + rng.Intn(3),
+			SpinePerPod:  spine,
+			Cores:        spine * (1 + rng.Intn(2)),
+			HostsPerLeaf: 1 + rng.Intn(3),
+			HostRate:     10 * sim.Gbps,
+			LeafRate:     40 * sim.Gbps,
+			LinkDelay:    sim.Microsecond,
+		}
+		if spec.LeafPerPod*spec.HostsPerLeaf*spec.Pods < 2 {
+			spec.HostsPerLeaf = 2
+		}
+		name := fmt.Sprintf("pods%d.leaf%d.spine%d.core%d.hosts%d",
+			spec.Pods, spec.LeafPerPod, spec.SpinePerPod, spec.Cores, spec.HostsPerLeaf)
+		t.Run(name, func(t *testing.T) {
+			flat := spec
+			flat.FlatRoutes = true
+			wantCounts, flatDrops := probeCounts(t, flat, 42)
+			gotCounts, hierDrops := probeCounts(t, spec, 42)
+			if flatDrops != 0 || hierDrops != 0 {
+				t.Fatalf("drops: flat=%d hierarchical=%d, want 0", flatDrops, hierDrops)
+			}
+			n := len(wantCounts)
+			for i := range wantCounts {
+				if wantCounts[i] != uint64(n-1) {
+					t.Fatalf("flat: host %d received %d probes, want %d", i, wantCounts[i], n-1)
+				}
+				if gotCounts[i] != wantCounts[i] {
+					t.Fatalf("host %d: hierarchical delivered %d, per-IP %d",
+						i, gotCounts[i], wantCounts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestECMPDeterministicAcrossPartitionedBuilds asserts forwarding decisions
+// are a function of the topology alone: building the same Clos monolithic,
+// 2-way, and 4-way partitioned installs identical next-hop choices (same
+// iface index for every destination on every switch).
+func TestECMPDeterministicAcrossPartitionedBuilds(t *testing.T) {
+	spec := topogen.ClosSpec{
+		Pods: 4, LeafPerPod: 2, SpinePerPod: 2, Cores: 4, HostsPerLeaf: 2,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps,
+		LinkDelay: sim.Microsecond,
+	}
+	build := func(parts int) (*netsim.Built, *topogen.ClosMeta) {
+		topo, m := topogen.Clos(spec)
+		var assign []int
+		if parts > 1 {
+			assign = m.AssignByPod(parts)
+		}
+		return topo.Build("clos", 99, assign, nil), m
+	}
+	ref, m := build(1)
+	ips := make([]proto.IP, 0, m.TotalHosts())
+	for p := 0; p < spec.Pods; p++ {
+		for l := 0; l < spec.LeafPerPod; l++ {
+			for i := 0; i < spec.HostsPerLeaf; i++ {
+				ips = append(ips, m.HostIP(p, l, i))
+			}
+		}
+	}
+	for _, parts := range []int{2, 4} {
+		b, _ := build(parts)
+		for si := range ref.Switches {
+			for _, ip := range ips {
+				refOut, refOK := ref.Switches[si].Route(ip)
+				out, ok := b.Switches[si].Route(ip)
+				if refOK != ok || (ok && refOut != out) {
+					t.Fatalf("switch %d route to %v: %d-way build got (%d,%v), monolithic (%d,%v)",
+						si, ip, parts, out, ok, refOut, refOK)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,460 @@
+// Package workload drives synthetic datacenter traffic over netsim hosts:
+// open- or closed-loop flow arrivals, heavy-tailed (Pareto, lognormal) flow
+// sizes, and incast / all-to-all shuffle / uniform destination patterns,
+// recording flow-completion times into bounded reservoir-sampled
+// recorders.
+//
+// The engine is partition-safe by construction: every host owns its state
+// (arrival process, RNG, counters, FCT reservoir) and mutates it only from
+// events on that host's own timeline, with all cross-host interaction
+// carried by simulated packets. Per-host RNG streams are keyed by host IP
+// and the workload seed — not by instantiation order — so the same spec on
+// the same fabric produces bit-identical traffic no matter how the fabric
+// is partitioned. Reports are merged after the run.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SizeDist draws flow sizes in bytes.
+type SizeDist interface {
+	Sample(r *sim.Rand) int
+}
+
+// Fixed is a constant flow size in bytes.
+type Fixed int
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*sim.Rand) int { return int(f) }
+
+// Pareto is the bounded Pareto distribution: Min·U^(-1/Alpha) clipped to
+// Max. Alpha in (1, 2) gives the heavy tail measured in datacenter traces —
+// most flows tiny, most bytes in elephants.
+type Pareto struct {
+	Min   int
+	Alpha float64
+	Max   int
+}
+
+// Sample implements SizeDist.
+func (p Pareto) Sample(r *sim.Rand) int {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	s := float64(p.Min) * math.Pow(u, -1/p.Alpha)
+	if p.Max > 0 && s > float64(p.Max) {
+		return p.Max
+	}
+	return int(s)
+}
+
+// Lognormal draws exp(N(ln Median, Sigma)) clipped to Max.
+type Lognormal struct {
+	Median int
+	Sigma  float64
+	Max    int
+}
+
+// Sample implements SizeDist.
+func (l Lognormal) Sample(r *sim.Rand) int {
+	s := float64(l.Median) * math.Exp(r.Normal(0, l.Sigma))
+	if l.Max > 0 && s > float64(l.Max) {
+		return l.Max
+	}
+	if s < 1 {
+		return 1
+	}
+	return int(s)
+}
+
+// Arrival is the flow arrival process, per source host.
+type Arrival interface {
+	isArrival()
+}
+
+// Open is an open-loop Poisson process: each source starts FlowsPerSec
+// flows per second (of virtual time) regardless of completions. The
+// aggregate over n sources is Poisson with rate n·FlowsPerSec by
+// superposition, which is what keeps the process partition-safe — no
+// global coordinator.
+type Open struct {
+	FlowsPerSec float64
+}
+
+func (Open) isArrival() {}
+
+// Closed is a closed loop: each source keeps Concurrency flows
+// outstanding, starting the next one Think after a completion
+// acknowledgment arrives.
+type Closed struct {
+	Concurrency int
+	Think       sim.Time
+}
+
+func (Closed) isArrival() {}
+
+// Pattern picks the destination for a source's flow'th flow among n
+// participants, or -1 for a source that generates no traffic.
+type Pattern interface {
+	Dst(r *sim.Rand, src, flow, n int) int
+}
+
+// Uniform sends each flow to a uniformly random other participant.
+type Uniform struct{}
+
+// Dst implements Pattern.
+func (Uniform) Dst(r *sim.Rand, src, _, n int) int {
+	d := r.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Incast converges every other participant's flows on participant Victim.
+type Incast struct {
+	Victim int
+}
+
+// Dst implements Pattern.
+func (p Incast) Dst(_ *sim.Rand, src, _, _ int) int {
+	if src == p.Victim {
+		return -1
+	}
+	return p.Victim
+}
+
+// Shuffle is the all-to-all exchange of a MapReduce-style shuffle stage:
+// source s's flow f goes to (s+1+f mod n-1) mod n, rotating through every
+// other participant.
+type Shuffle struct{}
+
+// Dst implements Pattern.
+func (Shuffle) Dst(_ *sim.Rand, src, flow, n int) int {
+	return (src + 1 + flow%(n-1)) % n
+}
+
+// Transport selects how flows move bytes.
+type Transport int
+
+const (
+	// TransportUDP paces raw datagrams at the access-link rate — no
+	// congestion control, cheap enough for 10⁵-host fabrics, and safe
+	// across partition boundaries.
+	TransportUDP Transport = iota
+	// TransportTCP runs each flow over the tcpstack (congestion-controlled,
+	// FCT measured at last-byte-acked). Flow setup registers conn state on
+	// both endpoints, so every participant must live in the same Network —
+	// Install panics otherwise.
+	TransportTCP
+)
+
+// Spec configures one workload.
+type Spec struct {
+	Pattern Pattern
+	Sizes   SizeDist
+	Arrival Arrival
+
+	Seed uint64
+
+	// Transport defaults to TransportUDP.
+	Transport Transport
+	// CC is the congestion-control algorithm for TransportTCP
+	// (default netsim.CCReno).
+	CC netsim.CCAlgo
+
+	// Port is the UDP port flows run over (default 9000).
+	Port uint16
+	// MTU is the payload bytes per packet (default 1448).
+	MTU int
+	// Burst is how many packets a flow emits per pacing quantum
+	// (default 16); pacing bounds frames-in-flight per flow.
+	Burst int
+	// FCTCap bounds each host's flow-completion-time reservoir
+	// (default 4096 retained samples).
+	FCTCap int
+}
+
+func (s *Spec) defaults() {
+	if s.Port == 0 {
+		s.Port = 9000
+	}
+	if s.MTU == 0 {
+		s.MTU = 1448
+	}
+	if s.Burst == 0 {
+		s.Burst = 16
+	}
+	if s.FCTCap == 0 {
+		s.FCTCap = 4096
+	}
+}
+
+// Flow packet payload: flow ID, flow start time, and a marker byte —
+// 0 = data, 1 = last data packet, 2 = completion ack.
+const hdrLen = 4 + 8 + 1
+
+const (
+	markData = 0
+	markLast = 1
+	markAck  = 2
+)
+
+// Engine installs a workload on a set of hosts and collects its results.
+type Engine struct {
+	spec   Spec
+	states []*hostState
+}
+
+// hostState is the per-host slice of the workload; only events on its own
+// host touch it.
+type hostState struct {
+	eng  *Engine
+	h    *netsim.Host
+	idx  int
+	rng  *sim.Rand
+	fct  *stats.Latency // FCTs of flows *received* by this host
+	port uint16
+
+	flows     int // flows started (and pattern sequence number)
+	completed int // flows fully received here
+	acked     int // completions acknowledged back to this source
+	bytesSent int64
+}
+
+// Install binds the workload onto hosts: every host becomes a receiver on
+// spec.Port, and every host whose pattern emits traffic becomes a source.
+// Hosts may span multiple partition networks — all interaction is packets.
+// Call before the simulation starts; results come from Collect after it
+// ends.
+func Install(hosts []*netsim.Host, spec Spec) *Engine {
+	spec.defaults()
+	if len(hosts) < 2 {
+		panic("workload: need at least two hosts")
+	}
+	if spec.Transport == TransportTCP {
+		for _, h := range hosts[1:] {
+			if h.Network() != hosts[0].Network() {
+				panic("workload: TransportTCP requires all hosts in one Network " +
+					"(flow setup touches both endpoints); use TransportUDP across partitions")
+			}
+		}
+	}
+	e := &Engine{spec: spec, states: make([]*hostState, len(hosts))}
+	for i, h := range hosts {
+		// Key the stream by address, not slot order: the same host draws
+		// the same stream however the fabric is partitioned or the host
+		// list is assembled.
+		key := spec.Seed ^ uint64(h.IP())*0x9e3779b97f4a7c15
+		st := &hostState{
+			eng:  e,
+			h:    h,
+			idx:  i,
+			rng:  sim.NewRand(key),
+			fct:  stats.NewReservoir(spec.FCTCap, key^0xa5a5a5a5a5a5a5a5),
+			port: spec.Port,
+		}
+		e.states[i] = st
+		h.BindUDP(spec.Port, st.receive)
+		h.SetApp(netsim.AppFunc(func(*netsim.Host) { st.start() }))
+	}
+	return e
+}
+
+// start launches the host's arrival process at simulation start.
+func (st *hostState) start() {
+	switch a := st.eng.spec.Arrival.(type) {
+	case Open:
+		if a.FlowsPerSec <= 0 {
+			panic("workload: Open.FlowsPerSec must be positive")
+		}
+		// Probe the pattern: a passive host (Dst < 0) runs no process.
+		if st.dstPeek() < 0 {
+			return
+		}
+		st.scheduleNext(a)
+	case Closed:
+		if a.Concurrency <= 0 {
+			panic("workload: Closed.Concurrency must be positive")
+		}
+		if st.dstPeek() < 0 {
+			return
+		}
+		for i := 0; i < a.Concurrency; i++ {
+			st.startFlow()
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown arrival %T", st.eng.spec.Arrival))
+	}
+}
+
+// dstPeek asks the pattern whether this host sources traffic at all,
+// without consuming RNG state.
+func (st *hostState) dstPeek() int {
+	probe := *st.rng
+	return st.eng.spec.Pattern.Dst(&probe, st.idx, 0, len(st.eng.states))
+}
+
+// scheduleNext arms the next open-loop arrival.
+func (st *hostState) scheduleNext(a Open) {
+	gap := sim.Time(st.rng.Exp(float64(sim.Second) / a.FlowsPerSec))
+	st.h.Post(gap, func() {
+		if st.h.Now() >= st.h.End() {
+			return
+		}
+		st.startFlow()
+		st.scheduleNext(a)
+	})
+}
+
+// startFlow draws a destination and size and begins transmitting.
+func (st *hostState) startFlow() {
+	n := len(st.eng.states)
+	dst := st.eng.spec.Pattern.Dst(st.rng, st.idx, st.flows, n)
+	if dst < 0 || dst == st.idx {
+		return
+	}
+	flowID := uint32(st.idx)<<16 | uint32(st.flows&0xffff)
+	seq := st.flows
+	st.flows++
+	size := st.eng.spec.Sizes.Sample(st.rng)
+	if size < 1 {
+		size = 1
+	}
+	if st.eng.spec.Transport == TransportTCP {
+		st.startTCPFlow(st.eng.states[dst], seq, size)
+		return
+	}
+	st.sendBurst(st.eng.states[dst].h.IP(), flowID, st.h.Now(), size)
+}
+
+// startTCPFlow runs one flow over the tcpstack. FCT is last-byte-acked at
+// the sender (the TCP analog of the UDP last-packet-received measure, one
+// half-RTT longer); completion also drives the closed loop and tears the
+// conn state down on both ends.
+func (st *hostState) startTCPFlow(dst *hostState, seq, size int) {
+	spec := &st.eng.spec
+	// tcpKey is (remote, rport, lport): rotating the source port keeps
+	// concurrent flows to the same destination distinct.
+	sport := uint16(40000 + seq%20000)
+	start := st.h.Now()
+	var snd *netsim.TCPConn
+	snd, _ = netsim.NewFlow(st.h, dst.h, sport, spec.Port, spec.CC, int64(size), func() {
+		st.fct.Add(st.h.Now() - start)
+		st.completed++
+		st.bytesSent += int64(size)
+		st.h.UnregisterTCP(dst.h.IP(), spec.Port, sport)
+		dst.h.UnregisterTCP(st.h.IP(), sport, spec.Port)
+		if a, ok := spec.Arrival.(Closed); ok {
+			if st.h.Now() >= st.h.End() {
+				return
+			}
+			if a.Think > 0 {
+				st.h.Post(a.Think, st.startFlow)
+			} else {
+				st.startFlow()
+			}
+		}
+	})
+	snd.StartFlow()
+}
+
+// sendBurst transmits up to Burst packets of the flow's remaining bytes,
+// then re-arms itself after the burst's serialization time at the access
+// link rate — bounding frames in flight per flow to one burst.
+func (st *hostState) sendBurst(dst proto.IP, flowID uint32, flowStart sim.Time, remaining int) {
+	spec := &st.eng.spec
+	var hdr [hdrLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], flowID)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(flowStart))
+	burstBytes := 0
+	for i := 0; i < spec.Burst && remaining > 0; i++ {
+		pay := spec.MTU
+		if pay > remaining {
+			pay = remaining
+		}
+		remaining -= pay
+		if remaining == 0 {
+			hdr[12] = markLast
+		} else {
+			hdr[12] = markData
+		}
+		st.h.SendUDP(dst, spec.Port, spec.Port, hdr[:], pay)
+		burstBytes += pay + hdrLen
+		st.bytesSent += int64(pay)
+	}
+	if remaining > 0 {
+		gap := sim.TransmitTime(burstBytes, st.h.Iface().Rate())
+		rem := remaining
+		st.h.Post(gap, func() { st.sendBurst(dst, flowID, flowStart, rem) })
+	}
+}
+
+// receive handles both flow data (recording the FCT when the last packet
+// lands and acknowledging to the source) and completion acks (closing the
+// loop under Closed arrivals).
+func (st *hostState) receive(src proto.IP, _ uint16, payload []byte, _ int) {
+	if len(payload) < hdrLen {
+		return
+	}
+	switch payload[12] {
+	case markData:
+	case markLast:
+		start := sim.Time(binary.BigEndian.Uint64(payload[4:12]))
+		st.fct.Add(st.h.Now() - start)
+		st.completed++
+		// Acknowledge so a closed-loop source can start its next flow.
+		var ack [hdrLen]byte
+		copy(ack[:12], payload[:12])
+		ack[12] = markAck
+		st.h.SendUDP(src, st.port, st.port, ack[:], 0)
+	case markAck:
+		st.acked++
+		if a, ok := st.eng.spec.Arrival.(Closed); ok {
+			if st.h.Now() >= st.h.End() {
+				return
+			}
+			if a.Think > 0 {
+				st.h.Post(a.Think, st.startFlow)
+			} else {
+				st.startFlow()
+			}
+		}
+	}
+}
+
+// Report is the merged outcome of a workload run.
+type Report struct {
+	FlowsStarted   int
+	FlowsCompleted int
+	BytesSent      int64
+	FCT            *stats.Latency
+}
+
+// Collect merges per-host results. Call after the simulation has run.
+func (e *Engine) Collect() Report {
+	r := Report{FCT: &stats.Latency{}}
+	for _, st := range e.states {
+		r.FlowsStarted += st.flows
+		r.FlowsCompleted += st.completed
+		r.BytesSent += st.bytesSent
+		r.FCT.Merge(st.fct)
+	}
+	return r
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("flows=%d completed=%d bytes=%d fct{%s n=%d sampled=%d}",
+		r.FlowsStarted, r.FlowsCompleted, r.BytesSent,
+		r.FCT.Summary(), r.FCT.Count(), r.FCT.Sampled())
+}

@@ -12,20 +12,71 @@ import (
 	"repro/internal/sim"
 )
 
-// Latency records latency samples and answers distribution queries.
+// Latency records latency samples and answers distribution queries. The
+// zero value retains every sample; NewReservoir bounds retention with
+// uniform reservoir sampling so million-flow workloads don't hold a
+// million samples.
 type Latency struct {
 	samples []sim.Time
 	sorted  bool
+
+	// Reservoir state (Vitter's Algorithm R). cap == 0 means unbounded.
+	cap  int
+	seen uint64
+	rng  *sim.Rand
 }
 
-// Add records one sample.
+// NewReservoir creates a bounded recorder keeping a uniform sample of at
+// most capacity values. Replacement decisions come from a deterministic
+// seeded generator, so runs are reproducible.
+func NewReservoir(capacity int, seed uint64) *Latency {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Latency{cap: capacity, rng: sim.NewRand(seed)}
+}
+
+// Add records one sample. On a bounded recorder past capacity, the sample
+// replaces a uniformly random retained one with probability cap/seen.
 func (l *Latency) Add(d sim.Time) {
-	l.samples = append(l.samples, d)
-	l.sorted = false
+	l.seen++
+	if l.cap == 0 || len(l.samples) < l.cap {
+		l.samples = append(l.samples, d)
+		l.sorted = false
+		return
+	}
+	if j := l.rng.Int63n(int64(l.seen)); j < int64(l.cap) {
+		l.samples[j] = d
+		l.sorted = false
+	}
 }
 
-// Count returns the number of samples.
-func (l *Latency) Count() int { return len(l.samples) }
+// Count returns the number of samples observed (not retained: on a bounded
+// recorder this keeps counting past capacity).
+func (l *Latency) Count() int {
+	if l.cap != 0 {
+		return int(l.seen)
+	}
+	return len(l.samples)
+}
+
+// Sampled returns the number of samples actually retained, which the
+// distribution queries are computed over.
+func (l *Latency) Sampled() int { return len(l.samples) }
+
+// Merge folds o's retained samples into l (and o's observation count into
+// l's). Merging bounded recorders approximates a reservoir over the union:
+// each retained sample of o passes through l's replacement rule.
+func (l *Latency) Merge(o *Latency) {
+	extra := uint64(0)
+	if o.cap != 0 {
+		extra = o.seen - uint64(len(o.samples)) // observed but not retained
+	}
+	for _, s := range o.samples {
+		l.Add(s)
+	}
+	l.seen += extra
+}
 
 func (l *Latency) sortSamples() {
 	if !l.sorted {

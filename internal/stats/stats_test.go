@@ -141,3 +141,57 @@ func TestSummaryString(t *testing.T) {
 		t.Fatal("summary missing fields")
 	}
 }
+
+func TestReservoirBoundsRetention(t *testing.T) {
+	l := NewReservoir(100, 7)
+	for i := 0; i < 10_000; i++ {
+		l.Add(sim.Time(i))
+	}
+	if l.Count() != 10_000 {
+		t.Fatalf("Count = %d, want 10000 (observations, not retention)", l.Count())
+	}
+	if l.Sampled() != 100 {
+		t.Fatalf("Sampled = %d, want 100", l.Sampled())
+	}
+	// A uniform sample of 0..9999 should have a median near 5000.
+	if p50 := l.Percentile(50); p50 < 3000 || p50 > 7000 {
+		t.Fatalf("reservoir median %v far from 5000", p50)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(50, 3), NewReservoir(50, 3)
+	for i := 0; i < 1000; i++ {
+		a.Add(sim.Time(i * 7))
+		b.Add(sim.Time(i * 7))
+	}
+	if a.Mean() != b.Mean() || a.Percentile(99) != b.Percentile(99) {
+		t.Fatal("same seed produced different reservoirs")
+	}
+}
+
+func TestReservoirMergePreservesCounts(t *testing.T) {
+	a := NewReservoir(64, 1)
+	b := NewReservoir(64, 2)
+	for i := 0; i < 500; i++ {
+		a.Add(sim.Time(i))
+		b.Add(sim.Time(1000 + i))
+	}
+	a.Merge(b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged Count = %d, want 1000", a.Count())
+	}
+	if a.Sampled() != 64 {
+		t.Fatalf("merged Sampled = %d, want 64", a.Sampled())
+	}
+
+	// Unbounded merge keeps every sample.
+	var u, v Latency
+	u.Add(1)
+	v.Add(2)
+	v.Add(3)
+	u.Merge(&v)
+	if u.Count() != 3 || u.Sampled() != 3 {
+		t.Fatalf("unbounded merge count=%d sampled=%d, want 3/3", u.Count(), u.Sampled())
+	}
+}

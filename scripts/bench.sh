@@ -1,9 +1,9 @@
 #!/bin/sh
 # Regenerate the repository's benchmark-baseline files. Runs the link,
-# fabric, scheduler, placement, and substrate microbenchmark suites and
+# fabric, scheduler, placement, substrate, and datacenter-scale suites and
 # appends one revision entry to BENCH_link.json / BENCH_fabric.json /
-# BENCH_sched.json / BENCH_placement.json / BENCH_netsim.json via
-# cmd/benchjson. Every perf-relevant PR should run
+# BENCH_sched.json / BENCH_placement.json / BENCH_netsim.json /
+# BENCH_scale.json via cmd/benchjson. Every perf-relevant PR should run
 # this and commit the updated files so the repository carries its own perf
 # trajectory.
 #
@@ -48,3 +48,13 @@ go test -run '^$' -bench 'BenchmarkSubstrate' \
     -benchtime "$TIME" -count "$COUNT" \
     ./internal/netsim/ ./internal/nicsim/ ./internal/tcpstack/ |
     go run ./cmd/benchjson -suite netsim -out BENCH_netsim.json -rev "$REV" $STRICT
+
+# The scale suite builds 10⁴–10⁵-host fabrics per iteration; one iteration
+# per benchmark is representative and keeps the wall time sane. It records
+# the tentpole metrics pkts/s (sustained simulated packets per wall-clock
+# second) and bytes/host (resident routing state) alongside ns/op.
+echo "== datacenter-scale fabric benchmarks (rev $REV) =="
+go test -run '^$' -bench 'BenchmarkScale' \
+    -benchtime "${BENCH_SCALE_TIME:-1x}" -count "$COUNT" -timeout 30m \
+    ./internal/netsim/topogen/ |
+    go run ./cmd/benchjson -suite scale -out BENCH_scale.json -rev "$REV" $STRICT
