@@ -2,16 +2,17 @@
 # keep green (see README.md); `make race` adds the data-race gate over the
 # whole module (every package may run under the multi-core executor now);
 # `make chaos` runs the transport
-# fault-injection suite under the race detector; `make bench` refreshes the
-# committed benchmark baselines.
+# fault-injection suite under the race detector; `make ckpt` is the raced
+# checkpoint/restore determinism gate; `make bench` refreshes the committed
+# benchmark baselines.
 
 GO ?= go
 
-.PHONY: check build vet test race chaos parallel scale bench all
+.PHONY: check build vet test race chaos parallel scale ckpt bench all
 
 all: check race
 
-check: vet build test chaos parallel scale
+check: vet build test chaos parallel scale ckpt
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,14 @@ chaos:
 # and complete incast + shuffle workloads with zero frame leaks.
 scale:
 	$(GO) test -run 'TestScaleSmoke' ./internal/experiments/
+
+# Checkpoint/restore gate: deterministic checkpoints must restore
+# bit-identically across placements and GOMAXPROCS levels, and the
+# warm-started sweep's identity point must match its cold run — raced, since
+# placed captures and resumes exercise the multi-core executor.
+ckpt:
+	$(GO) test -race -run 'TestCheckpoint|TestLoadCheckpoint|TestWarmStart' \
+		./internal/orch/ ./internal/experiments/
 
 bench:
 	sh scripts/bench.sh

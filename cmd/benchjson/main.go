@@ -53,11 +53,15 @@ type Result struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Entry is one revision's worth of results.
+// Entry is one revision's worth of results. Machine fingerprints the
+// recording host: ns/op from different machines are not comparable, so the
+// regression diff only runs against a baseline with an identical
+// fingerprint.
 type Entry struct {
 	Rev     string            `json:"rev"`
 	Date    string            `json:"date"`
 	Go      string            `json:"go,omitempty"`
+	Machine string            `json:"machine,omitempty"`
 	Results map[string]Result `json:"results"`
 }
 
@@ -146,6 +150,7 @@ func main() {
 		Rev:     *rev,
 		Date:    time.Now().UTC().Format("2006-01-02"),
 		Go:      runtime.Version(),
+		Machine: machineFingerprint(),
 		Results: map[string]Result{},
 	}
 	for name, a := range sums {
@@ -173,16 +178,10 @@ func main() {
 	}
 	f.Suite = *suite
 	f.Unit = "ns/op"
-	// The newest entry with a different rev label is the comparison
-	// baseline: diff before mutating history so re-running under the same
-	// rev keeps comparing against the true predecessor.
-	var prev *Entry
-	for i := len(f.History) - 1; i >= 0; i-- {
-		if f.History[i].Rev != *rev {
-			prev = &f.History[i]
-			break
-		}
-	}
+	// The newest same-machine entry with a different rev label is the
+	// comparison baseline: diff before mutating history so re-running under
+	// the same rev keeps comparing against the true predecessor.
+	prev, skipped := baselineFor(f.History, *rev, entry.Machine)
 	// Replace an existing entry with the same rev, else append.
 	replaced := false
 	for i := range f.History {
@@ -195,7 +194,13 @@ func main() {
 	if !replaced {
 		f.History = append(f.History, entry)
 	}
-	regressions := report(os.Stderr, *suite, prev, entry, *regressPct)
+	regressions := 0
+	if prev == nil && skipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: no same-machine baseline for %q (%d entr%s from other machines); regression diff skipped\n",
+			*suite, entry.Machine, skipped, plural(skipped, "y", "ies"))
+	} else {
+		regressions = report(os.Stderr, *suite, prev, entry, *regressPct)
+	}
 
 	// encoding/json sorts map keys, so entries diff stably across runs.
 	buf, err := json.MarshalIndent(&f, "", "  ")
@@ -248,20 +253,62 @@ func reportFiles(files []string, regressPct float64, failOnRegress bool) int {
 			continue
 		}
 		cur := f.History[len(f.History)-1]
-		var prev *Entry
-		for i := len(f.History) - 1; i >= 0; i-- {
-			if f.History[i].Rev != cur.Rev {
-				prev = &f.History[i]
-				break
-			}
-		}
+		prev, skipped := baselineFor(f.History[:len(f.History)-1], cur.Rev, cur.Machine)
 		fmt.Fprintf(os.Stderr, "benchjson: %s: rev %s (%s)\n", f.Suite, cur.Rev, cur.Date)
+		if prev == nil && skipped > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no same-machine baseline for %q (%d entr%s from other machines); regression diff skipped\n",
+				f.Suite, cur.Machine, skipped, plural(skipped, "y", "ies"))
+			continue
+		}
 		regressions += report(os.Stderr, f.Suite, prev, cur, regressPct)
 	}
 	if regressions > 0 && failOnRegress {
 		return 3
 	}
 	return 0
+}
+
+// machineFingerprint identifies the benchmarking host well enough to keep
+// cross-machine ns/op comparisons out of the regression report: the
+// schedulable core count plus the CPU model from /proc/cpuinfo (the
+// architecture when that is unavailable, e.g. off Linux).
+func machineFingerprint() string {
+	model := runtime.GOARCH
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			name, value, ok := strings.Cut(line, ":")
+			if ok && strings.TrimSpace(name) == "model name" {
+				model = strings.TrimSpace(value)
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%dx %s", runtime.GOMAXPROCS(0), model)
+}
+
+// baselineFor picks the regression baseline from history: the newest entry
+// whose rev differs from rev and whose machine fingerprint equals machine.
+// skipped counts different-rev entries rejected for being from another
+// machine — when no baseline exists the caller distinguishes "first entry
+// ever" (skipped == 0) from "only foreign-machine history" (skipped > 0).
+func baselineFor(history []Entry, rev, machine string) (prev *Entry, skipped int) {
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Rev == rev {
+			continue
+		}
+		if history[i].Machine == machine {
+			return &history[i], skipped
+		}
+		skipped++
+	}
+	return nil, skipped
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // report diffs entry against prev (the latest committed entry for another

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineForPrefersSameMachine(t *testing.T) {
+	hist := []Entry{
+		{Rev: "PR1", Machine: "8x cpuA"},
+		{Rev: "PR2", Machine: "4x cpuB"},
+		{Rev: "PR3", Machine: "8x cpuA"},
+	}
+	prev, skipped := baselineFor(hist, "PR4", "8x cpuA")
+	if prev == nil || prev.Rev != "PR3" || skipped != 0 {
+		t.Fatalf("prev=%v skipped=%d, want PR3 skipped=0", prev, skipped)
+	}
+	// The newest same-machine entry wins even when newer foreign-machine
+	// entries exist.
+	prev, skipped = baselineFor(hist, "PR4", "4x cpuB")
+	if prev == nil || prev.Rev != "PR2" || skipped != 1 {
+		t.Fatalf("prev=%v skipped=%d, want PR2 skipped=1", prev, skipped)
+	}
+	// Same-rev entries never serve as their own baseline.
+	prev, skipped = baselineFor(hist, "PR3", "8x cpuA")
+	if prev == nil || prev.Rev != "PR1" {
+		t.Fatalf("prev=%v, want PR1", prev)
+	}
+	// Foreign machines only: no baseline, but the caller can tell history
+	// was non-empty.
+	prev, skipped = baselineFor(hist, "PR4", "16x cpuC")
+	if prev != nil || skipped != 3 {
+		t.Fatalf("prev=%v skipped=%d, want nil skipped=3", prev, skipped)
+	}
+	// Legacy entries without a fingerprint still match each other.
+	legacy := []Entry{{Rev: "PR1"}, {Rev: "PR2"}}
+	prev, _ = baselineFor(legacy, "PR2", "")
+	if prev == nil || prev.Rev != "PR1" {
+		t.Fatalf("legacy prev=%v, want PR1", prev)
+	}
+}
+
+func TestMachineFingerprintShape(t *testing.T) {
+	fp := machineFingerprint()
+	if !strings.Contains(fp, "x ") || strings.HasPrefix(fp, "0x") {
+		t.Fatalf("fingerprint %q should read like \"<cores>x <model>\"", fp)
+	}
+}

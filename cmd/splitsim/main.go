@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 type runner func(opts experiments.Options) (string, error)
@@ -61,6 +62,13 @@ func catalog() map[string]runner {
 		},
 		"scaleout": func(o experiments.Options) (string, error) {
 			r, err := experiments.ScaleOut(o)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		},
+		"warmstart": func(o experiments.Options) (string, error) {
+			r, err := experiments.WarmStart(o)
 			if err != nil {
 				return "", err
 			}
@@ -127,6 +135,9 @@ flags for run and plan:
   -seed n        random seed (default 42)
   -placement p   execution placement (placement: %s; fig7/fig8: s|percomp|auto)
   -parallel      run placed groups on real cores (pinned threads, batched sync windows)
+  -checkpoint-at us     warmup horizon in microseconds for checkpointing experiments (warmstart)
+  -checkpoint-file f    write the captured checkpoint to f
+  -restore-file f       resume from a checkpoint file instead of simulating the warmup
 
 experiments: %v
 plannable: %v
@@ -141,8 +152,13 @@ func parseOpts(cmd string, args []string) experiments.Options {
 	seed := fs.Uint64("seed", 42, "random seed")
 	placement := fs.String("placement", "", "execution placement")
 	parallel := fs.Bool("parallel", false, "multi-core executor for placed runs")
+	ckAt := fs.Float64("checkpoint-at", 0, "warmup horizon in microseconds (checkpointing experiments)")
+	ckFile := fs.String("checkpoint-file", "", "write the captured checkpoint here")
+	restore := fs.String("restore-file", "", "resume from this checkpoint file")
 	_ = fs.Parse(args)
-	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement, Parallel: *parallel}
+	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement, Parallel: *parallel,
+		CheckpointAt:   sim.Time(*ckAt * float64(sim.Microsecond)),
+		CheckpointFile: *ckFile, RestoreFile: *restore}
 }
 
 func fail(format string, args ...interface{}) {

@@ -215,10 +215,13 @@ func (s *System) Validate() error {
 			adj[l.B] = append(adj[l.B], l.A)
 		}
 		seen := map[string]bool{s.Switches[0].Name: true}
+		// Index-cursor BFS, the same idiom as netsim's route computation:
+		// popping with queue = queue[1:] keeps the consumed prefix pinned in
+		// the backing array while append keeps growing it past the consumed
+		// slots, so large fabrics paid allocator churn just to validate.
 		queue := []string{s.Switches[0].Name}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			for _, v := range adj[u] {
 				if !seen[v] {
 					seen[v] = true

@@ -33,6 +33,14 @@ type Options struct {
 	// instead of the plain coupled executor. Results are bit-identical
 	// either way; only wall-clock measurements change.
 	Parallel bool
+	// CheckpointAt overrides the warmup horizon for experiments that
+	// checkpoint (warmstart). Zero keeps the experiment's default.
+	CheckpointAt sim.Time
+	// CheckpointFile, when set, persists the captured checkpoint bytes.
+	CheckpointFile string
+	// RestoreFile, when set, resumes from a previously saved checkpoint
+	// instead of simulating the warmup prefix.
+	RestoreFile string
 }
 
 // DefaultOptions returns paper-scale settings.

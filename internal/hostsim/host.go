@@ -339,6 +339,10 @@ func (h *Host) NewFrame() *proto.Frame { return h.pool.Get() }
 // Post implements tcpstack.Transport's cheap timer primitive.
 func (h *Host) Post(d sim.Time, fn func()) { h.env.Post(h.env.Now()+d, fn) }
 
+// PostRTO implements tcpstack.Transport. Detailed hosts are not checkpoint
+// targets, so a plain closure firing suffices here.
+func (h *Host) PostRTO(c *tcpstack.Conn, d sim.Time) { h.env.Post(h.env.Now()+d, c.RTOFire) }
+
 // FrameStats implements core.FramePooler.
 func (h *Host) FrameStats() proto.PoolStats { return h.pool.Stats() }
 

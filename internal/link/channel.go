@@ -63,6 +63,13 @@ type Endpoint struct {
 	lastRecvT sim.Time // peer clock as of the last received message (-1: none)
 	peerDone  bool
 
+	// start is the virtual time both sides of the channel begin at: 0 for a
+	// normal run, the checkpoint horizon for a restored one. Before the
+	// first message arrives the peer is known only to be at start, so the
+	// horizon floor is start + latency — without this a restored runner
+	// would wait on a horizon in the already-simulated past.
+	start sim.Time
+
 	Stats Counters
 }
 
@@ -141,7 +148,8 @@ func (e *Endpoint) horizon() sim.Time {
 		return sim.Infinity
 	}
 	if e.lastRecvT < 0 {
-		return e.ch.Latency // peer starts at 0, so nothing arrives before latency
+		// Nothing received yet: the peer is at the common start time.
+		return e.start + e.ch.Latency
 	}
 	return e.lastRecvT + e.ch.Latency
 }

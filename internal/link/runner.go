@@ -41,6 +41,10 @@ type Runner struct {
 	// is skipped wholesale.
 	lastSyncAll sim.Time
 
+	// restored marks a run resuming from a checkpoint: components start
+	// via StartRestored (no initial events) instead of Start. See state.go.
+	restored bool
+
 	// batchWindows, set by the parallel executor, amortizes horizon
 	// advancement: the event batch runs all the way to the conservative
 	// horizon and one sync exchange covers the whole lookahead window,
@@ -128,6 +132,14 @@ func (r *Runner) Run(end sim.Time) {
 	r.end = end
 	r.epoch = time.Now()
 	for _, c := range r.comps {
+		if r.restored {
+			rs, ok := c.(restartable)
+			if !ok {
+				panic("link: restored run with non-restorable component " + c.Name())
+			}
+			rs.StartRestored(end)
+			continue
+		}
 		c.Start(end)
 	}
 	for {

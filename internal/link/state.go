@@ -1,0 +1,72 @@
+package link
+
+import (
+	"repro/internal/sim"
+)
+
+// Checkpoint support for the channel fabric. A checkpoint happens only at a
+// fully quiesced group run boundary (every runner joined), so none of this
+// runs concurrently with the pipes' producers or consumers.
+
+// SetStart records the virtual time a restored run resumes at, lifting the
+// endpoint's pre-first-message horizon floor to start + latency and its
+// sync-pacing floor to start + sync interval — both sides behave as if a
+// sync at the start time had already been exchanged. Without the send-side
+// floor a resumed unbatched run computes a sync cap of interval-from-zero,
+// which sits below the restored clock: no runner ever qualifies to run a
+// batch or emit a sync, and the group livelocks. Call on both endpoints of
+// every channel before the restored run begins.
+func (e *Endpoint) SetStart(t sim.Time) {
+	e.start = t
+	if e.lastSentT < t {
+		e.lastSentT = t
+	}
+}
+
+// DrainResidual consumes every message still sitting in the endpoint's
+// incoming pipe through the normal handle path. When a group run ends at
+// time T, each runner finishes (final sync at T, output closed) as soon as
+// it reaches T, without draining peers' final messages — those are the
+// residual. FIFO timestamp monotonicity plus the horizon invariant
+// guarantee every residual data message delivers at or after T, so handling
+// them from a scheduler sitting at T never schedules into the past.
+func (e *Endpoint) DrainResidual() {
+	for {
+		m, ok, closed := e.in.tryRecv()
+		if ok {
+			e.handle(m)
+			continue
+		}
+		if closed {
+			e.peerDone = true
+			if e.runner != nil {
+				e.runner.horizonOK = false
+			}
+			return
+		}
+		return
+	}
+}
+
+// Quiesced reports whether the incoming pipe is fully consumed. After a
+// joined group run plus DrainResidual on every endpoint, every pipe must be
+// quiesced: the outgoing direction is the peer's incoming one, so a full
+// sweep over endpoints covers both directions of every channel.
+func (e *Endpoint) Quiesced() bool { return e.in.empty() }
+
+// SetTxData overwrites the endpoint's cumulative data-message counter; the
+// checkpoint layer restores it so ModelGraph message counts carry across a
+// restore. Only TxData round-trips: sync and wait counters describe the
+// executor, not the simulation, and differ legitimately across placements.
+func (e *Endpoint) SetTxData(n uint64) { e.Stats.TxData = n }
+
+// restartable matches core.Stateful's restored-start method without
+// importing core's full interface here.
+type restartable interface {
+	StartRestored(end sim.Time)
+}
+
+// SetRestored switches the runner's next Run into restored mode: components
+// get StartRestored (adopt wiring, seed no events) instead of Start,
+// because their initial events already ride in the checkpoint.
+func (r *Runner) SetRestored(on bool) { r.restored = on }

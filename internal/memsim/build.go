@@ -18,8 +18,9 @@ type envPort struct {
 func (p envPort) Latency() sim.Time { return p.lat }
 
 func (p envPort) Send(m core.Message) {
-	at := p.env.Now() + p.lat
-	p.env.At(at, func() { p.sink.Deliver(at, m) })
+	// A typed delivery event (not a closure): it serializes into
+	// checkpoints by sink name and payload codec.
+	p.env.PostDelivery(p.env.Now()+p.lat, p.sink, m)
 }
 
 // Monolithic runs n cores plus the memory controller inside a single

@@ -115,18 +115,27 @@ type Core struct {
 	end     sim.Time
 	issueAt sim.Time
 
-	// blockDur caches BlockTime() and blockFn the bound completion method,
-	// so the block loop schedules without computing or allocating anything.
+	// blockDur caches BlockTime(); block completions post as named events
+	// (blockH) so pending ones serialize into checkpoints.
 	blockDur sim.Time
-	blockFn  func()
+	blockH   int32
+
+	respSink coreSink
 }
+
+// coreSink delivers memory responses to its core. It is pointer-comparable,
+// so delivery events targeting it can be named in checkpoints.
+type coreSink struct{ c *Core }
+
+// Deliver implements core.Sink.
+func (s *coreSink) Deliver(at sim.Time, m core.Message) { s.c.onResp(at, m) }
 
 // NewCore creates core number id.
 func NewCore(id int, p Params) *Core {
 	c := &Core{name: fmt.Sprintf("core%d", id), id: id, p: p}
 	c.cost = &c.own
 	c.blockDur = p.BlockTime()
-	c.blockFn = c.blockDone
+	c.respSink.c = c
 	return c
 }
 
@@ -137,8 +146,13 @@ func (c *Core) UseCost(a *core.CostAccount) { c.cost = a }
 // Name implements core.Component.
 func (c *Core) Name() string { return c.name }
 
-// Attach implements core.Component.
-func (c *Core) Attach(env core.Env) { c.env = env }
+// Attach implements core.Component; block completions register as a named
+// event so a checkpoint can carry them by name.
+func (c *Core) Attach(env core.Env) {
+	c.env = env
+	c.blockH = env.RegisterNamed("memsim/"+c.name+"/block",
+		func(sim.NamedArgs) { c.blockDone() })
+}
 
 // Cost implements core.Coster.
 func (c *Core) Cost() *core.CostAccount { return c.cost }
@@ -150,7 +164,7 @@ func (c *Core) TimeTaxNsPerVirtualUs() float64 { return 50 }
 func (c *Core) BindMem(p core.Port) { c.memPort = p }
 
 // MemSink returns the sink receiving memory responses.
-func (c *Core) MemSink() core.Sink { return core.SinkFunc(c.onResp) }
+func (c *Core) MemSink() core.Sink { return &c.respSink }
 
 // Start implements core.Component.
 func (c *Core) Start(end sim.Time) {
@@ -160,7 +174,7 @@ func (c *Core) Start(end sim.Time) {
 
 // runBlock executes one compute block then issues a memory transaction.
 func (c *Core) runBlock() {
-	c.env.Post(c.env.Now()+c.blockDur, c.blockFn)
+	c.env.PostNamed(c.env.Now()+c.blockDur, c.blockH, sim.NamedArgs{})
 }
 
 // blockDone fires when the block's execution time has elapsed.
@@ -197,18 +211,27 @@ type Mem struct {
 
 	// pend is the FIFO of accepted requests awaiting their service slot.
 	// Service completions fire in issue order (busyUntil is non-decreasing
-	// and posts at equal times keep posting order), so one prebound serveFn
-	// replaces a closure per transaction.
+	// and posts at equal times keep posting order), so one named event
+	// (serveH) replaces a closure per transaction.
 	pend     []MemReq
 	pendHead int
-	serveFn  func()
+	serveH   int32
+
+	reqSink memSink
 }
+
+// memSink delivers memory requests to the controller; pointer-comparable
+// for checkpoint naming, like coreSink.
+type memSink struct{ m *Mem }
+
+// Deliver implements core.Sink.
+func (s *memSink) Deliver(at sim.Time, msg core.Message) { s.m.onReq(at, msg) }
 
 // NewMem creates the controller.
 func NewMem(p Params) *Mem {
 	m := &Mem{name: "memctl", p: p, ports: make(map[int]core.Port)}
 	m.cost = &m.own
-	m.serveFn = m.serveNext
+	m.reqSink.m = m
 	return m
 }
 
@@ -218,8 +241,13 @@ func (m *Mem) UseCost(a *core.CostAccount) { m.cost = a }
 // Name implements core.Component.
 func (m *Mem) Name() string { return m.name }
 
-// Attach implements core.Component.
-func (m *Mem) Attach(env core.Env) { m.env = env }
+// Attach implements core.Component; service completions register as a
+// named event.
+func (m *Mem) Attach(env core.Env) {
+	m.env = env
+	m.serveH = env.RegisterNamed("memsim/"+m.name+"/serve",
+		func(sim.NamedArgs) { m.serveNext() })
+}
 
 // Start implements core.Component.
 func (m *Mem) Start(end sim.Time) {}
@@ -234,7 +262,7 @@ func (m *Mem) TimeTaxNsPerVirtualUs() float64 { return 20 }
 func (m *Mem) BindCore(id int, p core.Port) { m.ports[id] = p }
 
 // ReqSink returns the sink receiving memory requests.
-func (m *Mem) ReqSink() core.Sink { return core.SinkFunc(m.onReq) }
+func (m *Mem) ReqSink() core.Sink { return &m.reqSink }
 
 // onReq serves a transaction: bandwidth-bound occupancy, then respond.
 func (m *Mem) onReq(at sim.Time, msg core.Message) {
@@ -250,7 +278,7 @@ func (m *Mem) onReq(at sim.Time, msg core.Message) {
 		panic(fmt.Sprintf("memsim: no port for core %d", req.Core))
 	}
 	m.pend = append(m.pend, req)
-	m.env.Post(m.busyUntil, m.serveFn)
+	m.env.PostNamed(m.busyUntil, m.serveH, sim.NamedArgs{})
 }
 
 // serveNext completes the oldest pending transaction.

@@ -51,6 +51,15 @@ type Network struct {
 	switches []*Switch
 	hosts    []*Host
 	exts     []*ExtPort
+	hostByIP map[proto.IP]*Host
+
+	// regs holds named-event handlers registered before Attach (workload
+	// re-arm hooks, the TCP RTO dispatcher); Attach registers them on the
+	// scheduler under "net/<name>/<suffix>" in registration order, which is
+	// deterministic across placements. See state.go for why closures on the
+	// timer path migrated here.
+	regs    []namedReg
+	tcpRtoH int
 
 	// pool recycles frames and their payload buffers; every frame the
 	// network originates (SendUDP, TCP segments) or decodes at an external
@@ -82,19 +91,28 @@ type Network struct {
 // New creates an empty network simulator named name, with all randomness
 // derived from seed.
 func New(name string, seed uint64) *Network {
-	return &Network{
+	n := &Network{
 		name:          name,
 		seed:          seed,
 		rng:           sim.NewRand(seed),
+		hostByIP:      make(map[proto.IP]*Host),
 		SwitchLatency: DefaultSwitchLatency,
 	}
+	n.tcpRtoH = n.RegisterNamed("tcprto", n.tcpRTOFire)
+	return n
 }
 
 // Name implements core.Component.
 func (n *Network) Name() string { return n.name }
 
-// Attach implements core.Component.
-func (n *Network) Attach(env core.Env) { n.env = env }
+// Attach implements core.Component. Deferred named-event handlers register
+// here, in deterministic order, under names scoped by the component name.
+func (n *Network) Attach(env core.Env) {
+	n.env = env
+	for i := range n.regs {
+		n.regs[i].h = env.RegisterNamed("net/"+n.name+"/"+n.regs[i].suffix, n.regs[i].fn)
+	}
+}
 
 // Start implements core.Component: it starts every host's application.
 func (n *Network) Start(end sim.Time) {
@@ -173,6 +191,7 @@ func (n *Network) AddHost(name string, ip proto.IP) *Host {
 		rng: sim.NewRand(n.seed ^ uint64(ip)*0x9e3779b97f4a7c15),
 	}
 	n.hosts = append(n.hosts, h)
+	n.hostByIP[ip] = h
 	return h
 }
 

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"repro/internal/proto"
+	"repro/internal/sim"
 	"repro/internal/tcpstack"
 )
 
@@ -29,6 +30,33 @@ type tcpKey struct {
 // straight to the link with zero host processing cost beyond the simulator's
 // per-packet accounting — the ns-3 modeling gap the paper measures.
 func (h *Host) Output(f *proto.Frame) { h.transmit(f) }
+
+// PostRTO implements tcpstack.Transport: the firing is a named event
+// carrying (host, connection key), so pending retransmission timers
+// serialize into checkpoints instead of hiding in bound closures.
+func (h *Host) PostRTO(c *TCPConn, d sim.Time) {
+	env := h.net.env
+	env.PostNamed(env.Now()+d, h.net.namedHandle(h.net.tcpRtoH), sim.NamedArgs{
+		uint64(h.ip),
+		uint64(c.Remote()),
+		uint64(c.RemotePort())<<16 | uint64(c.LocalPort()),
+	})
+}
+
+// tcpRTOFire dispatches a posted RTO named event back to its connection.
+// A vanished host or connection (flow completed and unregistered after the
+// event was posted) makes the firing a no-op, exactly like a stale closure
+// firing did.
+func (n *Network) tcpRTOFire(args sim.NamedArgs) {
+	h, ok := n.hostByIP[proto.IP(args[0])]
+	if !ok {
+		return
+	}
+	key := tcpKey{remote: proto.IP(args[1]), rport: uint16(args[2] >> 16), lport: uint16(args[2])}
+	if c, ok := h.tcpConns[key]; ok {
+		c.RTOFire()
+	}
+}
 
 // LocalMAC implements tcpstack.Transport.
 func (h *Host) LocalMAC() proto.MAC { return h.mac }

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/stats"
 )
 
@@ -229,6 +231,12 @@ type hostState struct {
 	completed int // flows fully received here
 	acked     int // completions acknowledged back to this source
 	bytesSent int64
+
+	// Named-event handles (see Install): timer re-arms post these instead of
+	// closures so pending workload timers serialize into checkpoints.
+	nextH  int // open-loop arrival tick
+	burstH int // UDP burst re-arm, args: {dst<<32|flowID, flowStart, remaining}
+	thinkH int // closed-loop think expiry
 }
 
 // Install binds the workload onto hosts: every host becomes a receiver on
@@ -264,6 +272,12 @@ func Install(hosts []*netsim.Host, spec Spec) *Engine {
 			port: spec.Port,
 		}
 		e.states[i] = st
+		// Timer handlers are named per (port, slot) so several engines can
+		// share a network; registration order follows host order, which is
+		// deterministic for an identical build.
+		st.nextH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/next", spec.Port, i), st.nextArrival)
+		st.burstH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/burst", spec.Port, i), st.burstFire)
+		st.thinkH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/think", spec.Port, i), st.thinkFire)
 		h.BindUDP(spec.Port, st.receive)
 		h.SetApp(netsim.AppFunc(func(*netsim.Host) { st.start() }))
 	}
@@ -307,13 +321,29 @@ func (st *hostState) dstPeek() int {
 // scheduleNext arms the next open-loop arrival.
 func (st *hostState) scheduleNext(a Open) {
 	gap := sim.Time(st.rng.Exp(float64(sim.Second) / a.FlowsPerSec))
-	st.h.Post(gap, func() {
-		if st.h.Now() >= st.h.End() {
-			return
-		}
-		st.startFlow()
-		st.scheduleNext(a)
-	})
+	st.h.PostNamed(gap, st.nextH, sim.NamedArgs{})
+}
+
+// nextArrival is the open-loop tick: start a flow, re-arm.
+func (st *hostState) nextArrival(sim.NamedArgs) {
+	a, ok := st.eng.spec.Arrival.(Open)
+	if !ok || st.h.Now() >= st.h.End() {
+		return
+	}
+	st.startFlow()
+	st.scheduleNext(a)
+}
+
+// burstFire resumes a paced UDP flow from its re-arm event.
+func (st *hostState) burstFire(args sim.NamedArgs) {
+	st.sendBurst(proto.IP(args[0]>>32), uint32(args[0]), sim.Time(args[1]), int(args[2]))
+}
+
+// thinkFire starts the closed loop's next flow after the think time. The
+// end-of-run check happened when the think was armed, matching the old
+// direct st.startFlow post.
+func (st *hostState) thinkFire(sim.NamedArgs) {
+	st.startFlow()
 }
 
 // startFlow draws a destination and size and begins transmitting.
@@ -359,7 +389,7 @@ func (st *hostState) startTCPFlow(dst *hostState, seq, size int) {
 				return
 			}
 			if a.Think > 0 {
-				st.h.Post(a.Think, st.startFlow)
+				st.h.PostNamed(a.Think, st.thinkH, sim.NamedArgs{})
 			} else {
 				st.startFlow()
 			}
@@ -394,8 +424,8 @@ func (st *hostState) sendBurst(dst proto.IP, flowID uint32, flowStart sim.Time, 
 	}
 	if remaining > 0 {
 		gap := sim.TransmitTime(burstBytes, st.h.Iface().Rate())
-		rem := remaining
-		st.h.Post(gap, func() { st.sendBurst(dst, flowID, flowStart, rem) })
+		st.h.PostNamed(gap, st.burstH, sim.NamedArgs{
+			uint64(dst)<<32 | uint64(flowID), uint64(flowStart), uint64(remaining)})
 	}
 }
 
@@ -424,12 +454,57 @@ func (st *hostState) receive(src proto.IP, _ uint16, payload []byte, _ int) {
 				return
 			}
 			if a.Think > 0 {
-				st.h.Post(a.Think, st.startFlow)
+				st.h.PostNamed(a.Think, st.thinkH, sim.NamedArgs{})
 			} else {
 				st.startFlow()
 			}
 		}
 	}
+}
+
+// Engine rides along in checkpoints as auxiliary state: per-host RNG
+// streams, counters, and FCT reservoirs serialize, while the spec and host
+// bindings are reproduced by the identical build. Pending workload timers
+// are named events and travel in the scheduler's event section.
+var _ core.AuxState = (*Engine)(nil)
+
+// SnapshotState implements core.AuxState.
+func (e *Engine) SnapshotState(enc *snap.Encoder) error {
+	enc.U32(uint32(len(e.states)))
+	for _, st := range e.states {
+		enc.U64(uint64(st.h.IP())) // identity check on restore
+		enc.U64(st.rng.State())
+		enc.I64(int64(st.flows))
+		enc.I64(int64(st.completed))
+		enc.I64(int64(st.acked))
+		enc.I64(st.bytesSent)
+		st.fct.Snapshot(enc)
+	}
+	return nil
+}
+
+// RestoreState implements core.AuxState. The engine must be installed on
+// the same host set, in the same order, as the one snapshotted.
+func (e *Engine) RestoreState(dec *snap.Decoder) error {
+	if got := int(dec.U32()); got != len(e.states) {
+		return fmt.Errorf("%w: workload: snapshot has %d hosts, engine has %d",
+			core.ErrNotCheckpointable, got, len(e.states))
+	}
+	for _, st := range e.states {
+		if ip := proto.IP(dec.U64()); ip != st.h.IP() {
+			return fmt.Errorf("%w: workload: host order mismatch (%v vs %v)",
+				core.ErrNotCheckpointable, ip, st.h.IP())
+		}
+		st.rng.SetState(dec.U64())
+		st.flows = int(dec.I64())
+		st.completed = int(dec.I64())
+		st.acked = int(dec.I64())
+		st.bytesSent = dec.I64()
+		if err := st.fct.Restore(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
 }
 
 // Report is the merged outcome of a workload run.

@@ -1,0 +1,635 @@
+package orch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Deterministic checkpoint/restore at sync horizons.
+//
+// A checkpoint is taken at a quiesced group-run boundary: every runner has
+// reached virtual time T and joined, every channel pipe has been drained of
+// its residual final-window messages (FIFO timestamps plus the horizon
+// invariant guarantee those deliver at or after T), and all state is
+// therefore owned by exactly one goroutine. The capture then serializes
+//
+//   - every component's explicit state (core.Stateful),
+//   - every auxiliary state holder (core.AuxState, e.g. workload engines),
+//   - per-connection data-message counters (so ModelGraph carries across),
+//   - and the merged pending-event set of all schedulers, sorted into the
+//     canonical placement-invariant (time, source) order with per-scheduler
+//     sequence numbers dropped.
+//
+// Because event records carry sink names and named-handler names rather
+// than pointers, the same checkpoint restores into ANY placement of an
+// identically built simulation: the bytes are bit-identical no matter which
+// placement produced them, and the restored run is bit-identical to the
+// uninterrupted one.
+//
+// Not captured: remote (cross-process) connections, dynamically created TCP
+// flows, and raw closure timers — each surfaces a typed error at capture.
+
+// Checkpoint is a restorable snapshot of a simulation at time At.
+type Checkpoint struct {
+	// At is the virtual time the snapshot was taken at; the restored run
+	// resumes here.
+	At sim.Time
+	// BaseEvents is the total number of scheduler events executed before At.
+	// An uninterrupted run's event count equals BaseEvents plus the restored
+	// run's count exactly.
+	BaseEvents uint64
+	// Data is the self-contained serialized snapshot (snap format). It can
+	// be written to a file and reloaded with LoadCheckpoint.
+	Data []byte
+}
+
+// auxEntry is one registered auxiliary state holder.
+type auxEntry struct {
+	name string
+	aux  core.AuxState
+}
+
+// AddAuxState registers a non-component state holder (workload engine,
+// measurement reservoir) to ride along in checkpoints under a unique name.
+// Register in the same order on the capturing and restoring builds.
+func (s *Simulation) AddAuxState(name string, a core.AuxState) {
+	for _, e := range s.auxs {
+		if e.name == name {
+			panic("orch: aux state " + name + " registered twice")
+		}
+	}
+	s.auxs = append(s.auxs, auxEntry{name: name, aux: a})
+}
+
+// LoadCheckpoint parses a serialized checkpoint (validating its framing and
+// checksum) back into a Checkpoint.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	r, err := snap.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := r.Section("meta")
+	if err != nil {
+		return nil, err
+	}
+	d := snap.NewDecoder(mb)
+	at := sim.Time(d.I64())
+	base := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return &Checkpoint{At: at, BaseEvents: base, Data: data}, nil
+}
+
+// sinkTarget resolves a serialized sink name back to a live sink and the
+// component owning it (whose frame pool re-mints pooled payloads).
+type sinkTarget struct {
+	sink  core.Sink
+	owner core.Component
+}
+
+// sinkTable maps between live sinks and their stable checkpoint names.
+// Component-owned sinks are named "c/<comp>/<local>" via WalkSinks;
+// connection sinks get "conn/<name>/a|b" and "trunk/<name>/<i>/a|b"
+// fallbacks for sinks no component exports. Non-comparable (func-typed)
+// sinks are skipped — they only fail a checkpoint if a pending delivery
+// actually targets one.
+type sinkTable struct {
+	nameOf map[core.Sink]string
+	byName map[string]sinkTarget
+}
+
+func (s *Simulation) sinkTable() (*sinkTable, error) {
+	t := &sinkTable{
+		nameOf: make(map[core.Sink]string),
+		byName: make(map[string]sinkTarget),
+	}
+	var err error
+	add := func(name string, sk core.Sink, owner core.Component) {
+		if err != nil || sk == nil || !core.SinkComparable(sk) {
+			return
+		}
+		if _, dup := t.byName[name]; dup {
+			err = fmt.Errorf("orch: duplicate sink name %q", name)
+			return
+		}
+		t.byName[name] = sinkTarget{sink: sk, owner: owner}
+		if _, seen := t.nameOf[sk]; !seen {
+			t.nameOf[sk] = name
+		}
+	}
+	for _, c := range s.comps {
+		st, ok := c.(core.Stateful)
+		if !ok {
+			return nil, fmt.Errorf("%w: component %q does not implement core.Stateful",
+				core.ErrNotCheckpointable, c.Name())
+		}
+		name := c.Name()
+		st.WalkSinks(func(n string, sk core.Sink) { add("c/"+name+"/"+n, sk, c) })
+	}
+	for _, c := range s.conns {
+		add("conn/"+c.name+"/a", c.a.Sink, c.a.Comp)
+		add("conn/"+c.name+"/b", c.b.Sink, c.b.Comp)
+	}
+	for _, tr := range s.trunks {
+		for i, p := range tr.pairs {
+			add(fmt.Sprintf("trunk/%s/%d/a", tr.name, i), p.SinkA, tr.compA)
+			add(fmt.Sprintf("trunk/%s/%d/b", tr.name, i), p.SinkB, tr.compB)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// capture serializes the quiesced simulation at time at. scheds holds every
+// scheduler of the finished run (one in sequential mode, one per group in
+// placed modes).
+func (s *Simulation) capture(scheds []*sim.Scheduler, at sim.Time) (*Checkpoint, error) {
+	table, err := s.sinkTable()
+	if err != nil {
+		return nil, err
+	}
+	var events []sim.PendingEvent
+	var base uint64
+	for _, sc := range scheds {
+		evs, err := sc.ExportPending()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrNotCheckpointable, err)
+		}
+		events = append(events, evs...)
+		base += sc.Processed()
+	}
+	// Canonical order: (time, source) is placement-invariant; the
+	// per-scheduler sequence breaks ties within one (time, source) pair —
+	// such ties always come from the same scheduler, so the comparison is
+	// well-defined — and is then dropped from the serialized form. Re-posting
+	// in this order reassigns fresh sequences that preserve it.
+	sort.Slice(events, func(i, j int) bool {
+		a, b := &events[i], &events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+
+	w := snap.NewWriter()
+	var meta snap.Encoder
+	meta.I64(int64(at))
+	meta.U64(base)
+	meta.U32(uint32(len(s.comps)))
+	for _, c := range s.comps {
+		meta.String(c.Name())
+	}
+	meta.U32(uint32(len(s.auxs)))
+	for _, a := range s.auxs {
+		meta.String(a.name)
+	}
+	if err := w.Section("meta", meta.Bytes()); err != nil {
+		return nil, err
+	}
+
+	var ev snap.Encoder
+	ev.U32(uint32(len(events)))
+	for i := range events {
+		e := &events[i]
+		ev.I64(int64(e.At))
+		ev.U32(uint32(e.Src))
+		ev.U8(e.Kind)
+		switch e.Kind {
+		case sim.PendingNamed:
+			ev.String(e.Handler)
+			ev.U64(e.Args[0])
+			ev.U64(e.Args[1])
+			ev.U64(e.Args[2])
+		case sim.PendingDelivery:
+			name, ok := "", false
+			if core.SinkComparable(e.Sink) {
+				name, ok = table.nameOf[e.Sink]
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: %T (delivery at %v)", core.ErrUnknownSink, e.Sink, e.At)
+			}
+			ev.String(name)
+			if err := core.EncodePayload(&ev, e.Payload); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("orch: unknown pending event kind %d", e.Kind)
+		}
+	}
+	if err := w.Section("events", ev.Bytes()); err != nil {
+		return nil, err
+	}
+
+	var cn snap.Encoder
+	cn.U32(uint32(len(s.conns)))
+	for _, c := range s.conns {
+		var ab, ba uint64
+		switch {
+		case c.portAB != nil:
+			ab, ba = c.portAB.Stats.TxData, c.portBA.Stats.TxData
+		case c.epA != nil:
+			ab, ba = c.epA.Stats.TxData, c.epB.Stats.TxData
+		}
+		cn.U64(ab)
+		cn.U64(ba)
+	}
+	cn.U32(uint32(len(s.trunks)))
+	for _, t := range s.trunks {
+		// Only per-direction totals serialize: trunk ports alternate
+		// (A-side, B-side) per pair, and ModelGraph reads sums.
+		var ta, tb uint64
+		for i := 0; i+1 < len(t.ports); i += 2 {
+			ta += t.ports[i].Stats.TxData
+			tb += t.ports[i+1].Stats.TxData
+		}
+		if t.epA != nil {
+			ta += t.epA.Stats.TxData
+			tb += t.epB.Stats.TxData
+		}
+		cn.U64(ta)
+		cn.U64(tb)
+	}
+	if err := w.Section("conns", cn.Bytes()); err != nil {
+		return nil, err
+	}
+
+	for _, c := range s.comps {
+		var enc snap.Encoder
+		if err := c.(core.Stateful).SnapshotState(&enc); err != nil {
+			return nil, err
+		}
+		if err := w.Section("comp/"+c.Name(), enc.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range s.auxs {
+		var enc snap.Encoder
+		if err := a.aux.SnapshotState(&enc); err != nil {
+			return nil, err
+		}
+		if err := w.Section("aux/"+a.name, enc.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return &Checkpoint{At: at, BaseEvents: base, Data: w.Finish()}, nil
+}
+
+// restoreInto loads ck into a freshly built, wired, attached simulation:
+// component and aux state restore section by section, connection counters
+// land on whichever wiring the plan produced, and the canonical event list
+// re-posts — named events to the scheduler holding the handler, deliveries
+// to the scheduler of the group owning the target sink.
+func (s *Simulation) restoreInto(ck *Checkpoint, pl *ExecutionPlan, scheds []*sim.Scheduler) error {
+	r, err := snap.Open(ck.Data)
+	if err != nil {
+		return err
+	}
+	mb, err := r.Section("meta")
+	if err != nil {
+		return err
+	}
+	md := snap.NewDecoder(mb)
+	if at := sim.Time(md.I64()); md.Err() == nil && at != ck.At {
+		return fmt.Errorf("orch: checkpoint time %v does not match metadata %v", ck.At, at)
+	}
+	md.U64() // BaseEvents, informational
+	if got := int(md.U32()); md.Err() == nil && got != len(s.comps) {
+		return fmt.Errorf("%w: snapshot has %d components, build has %d",
+			core.ErrNotCheckpointable, got, len(s.comps))
+	}
+	for _, c := range s.comps {
+		if n := md.String(); md.Err() == nil && n != c.Name() {
+			return fmt.Errorf("%w: component order mismatch (%q vs %q)",
+				core.ErrNotCheckpointable, n, c.Name())
+		}
+	}
+	if got := int(md.U32()); md.Err() == nil && got != len(s.auxs) {
+		return fmt.Errorf("%w: snapshot has %d aux entries, build has %d",
+			core.ErrNotCheckpointable, got, len(s.auxs))
+	}
+	for _, a := range s.auxs {
+		if n := md.String(); md.Err() == nil && n != a.name {
+			return fmt.Errorf("%w: aux order mismatch (%q vs %q)",
+				core.ErrNotCheckpointable, n, a.name)
+		}
+	}
+	if md.Err() != nil {
+		return md.Err()
+	}
+
+	for _, c := range s.comps {
+		sec, err := r.Section("comp/" + c.Name())
+		if err != nil {
+			return err
+		}
+		if err := c.(core.Stateful).RestoreState(snap.NewDecoder(sec)); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.auxs {
+		sec, err := r.Section("aux/" + a.name)
+		if err != nil {
+			return err
+		}
+		if err := a.aux.RestoreState(snap.NewDecoder(sec)); err != nil {
+			return err
+		}
+	}
+
+	cb, err := r.Section("conns")
+	if err != nil {
+		return err
+	}
+	cd := snap.NewDecoder(cb)
+	if got := int(cd.U32()); cd.Err() == nil && got != len(s.conns) {
+		return fmt.Errorf("%w: snapshot has %d connections, build has %d",
+			core.ErrNotCheckpointable, got, len(s.conns))
+	}
+	for _, c := range s.conns {
+		ab, ba := cd.U64(), cd.U64()
+		switch {
+		case c.portAB != nil:
+			c.portAB.Stats.TxData, c.portBA.Stats.TxData = ab, ba
+		case c.epA != nil:
+			c.epA.SetTxData(ab)
+			c.epB.SetTxData(ba)
+		}
+	}
+	if got := int(cd.U32()); cd.Err() == nil && got != len(s.trunks) {
+		return fmt.Errorf("%w: snapshot has %d trunks, build has %d",
+			core.ErrNotCheckpointable, got, len(s.trunks))
+	}
+	for _, t := range s.trunks {
+		ta, tb := cd.U64(), cd.U64()
+		switch {
+		case len(t.ports) >= 2:
+			t.ports[0].Stats.TxData, t.ports[1].Stats.TxData = ta, tb
+		case t.epA != nil:
+			t.epA.SetTxData(ta)
+			t.epB.SetTxData(tb)
+		}
+	}
+	if cd.Err() != nil {
+		return cd.Err()
+	}
+
+	table, err := s.sinkTable()
+	if err != nil {
+		return err
+	}
+	eb, err := r.Section("events")
+	if err != nil {
+		return err
+	}
+	ed := snap.NewDecoder(eb)
+	n := int(ed.U32())
+	for i := 0; i < n; i++ {
+		if ed.Err() != nil {
+			return ed.Err()
+		}
+		at := sim.Time(ed.I64())
+		src := int32(ed.U32())
+		kind := ed.U8()
+		switch kind {
+		case sim.PendingNamed:
+			name := ed.String()
+			var args sim.NamedArgs
+			args[0], args[1], args[2] = ed.U64(), ed.U64(), ed.U64()
+			if ed.Err() != nil {
+				return ed.Err()
+			}
+			posted := false
+			for _, sc := range scheds {
+				if h, ok := sc.LookupNamed(name); ok {
+					sc.PostNamed(at, src, h, args)
+					posted = true
+					break
+				}
+			}
+			if !posted {
+				return fmt.Errorf("orch: checkpoint names unregistered handler %q", name)
+			}
+		case sim.PendingDelivery:
+			name := ed.String()
+			if ed.Err() != nil {
+				return ed.Err()
+			}
+			tgt, ok := table.byName[name]
+			if !ok {
+				return fmt.Errorf("%w: %q", core.ErrUnknownSink, name)
+			}
+			payload, err := core.DecodePayload(ed, tgt.owner)
+			if err != nil {
+				return err
+			}
+			scheds[pl.grpOf[tgt.owner]].PostDelivery(at, src, tgt.sink, payload)
+		default:
+			return fmt.Errorf("orch: unknown pending event kind %d", kind)
+		}
+	}
+	return ed.Err()
+}
+
+// CheckpointSequential runs the simulation sequentially from time zero to
+// at and captures a checkpoint there. The simulation is swept afterwards
+// (pending frames return to their pools); restore into a freshly built,
+// identically configured Simulation.
+func (s *Simulation) CheckpointSequential(at sim.Time) (*Checkpoint, error) {
+	if len(s.remotes) > 0 {
+		return nil, fmt.Errorf("%w: remote connections", core.ErrNotCheckpointable)
+	}
+	pl, err := s.Plan(decomp.SingleGroup(len(s.comps)))
+	if err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler(0)
+	pl.wire([]*sim.Scheduler{sched}, nil)
+	for _, c := range s.comps {
+		c.Attach(core.Env{Sched: sched, Src: s.srcOf[c]})
+	}
+	for _, c := range s.comps {
+		c.Start(at)
+	}
+	for {
+		t, ok := sched.PeekTime()
+		if !ok || t >= at {
+			break
+		}
+		sched.Step()
+	}
+	ck, err := s.capture([]*sim.Scheduler{sched}, at)
+	sched.DiscardPending(core.ReleaseMessage)
+	return ck, err
+}
+
+// CheckpointPlaced runs the simulation coupled under placement p from time
+// zero to at, quiesces every channel at that sync horizon, and captures a
+// checkpoint. The resulting bytes are bit-identical to what any other
+// placement — including CheckpointSequential — produces for the same build.
+func (s *Simulation) CheckpointPlaced(at sim.Time, p decomp.Placement, opts ParallelOptions) (*Checkpoint, error) {
+	if len(s.remotes) > 0 {
+		return nil, fmt.Errorf("%w: remote connections", core.ErrNotCheckpointable)
+	}
+	pl, err := s.Plan(p)
+	if err != nil {
+		return nil, err
+	}
+	g := &link.Group{}
+	scheds := make([]*sim.Scheduler, pl.NumGroups())
+	runners := make([]*link.Runner, pl.NumGroups())
+	for gi, name := range pl.GroupNames {
+		scheds[gi] = sim.NewScheduler(int32(1000 + gi))
+		runners[gi] = link.NewRunner(name, scheds[gi])
+		runners[gi].SetBatchWindows(opts.BatchWindows)
+		g.Add(runners[gi])
+	}
+	pl.wire(scheds, runners)
+	for gi, members := range pl.groupComps {
+		for _, ci := range members {
+			c := s.comps[ci]
+			runners[gi].AddComponent(c, s.srcOf[c])
+		}
+	}
+	s.Group = g
+	if s.PreRun != nil {
+		s.PreRun(g)
+	}
+	pinned := 0
+	if opts.Pin {
+		pinned = len(runners)
+		if opts.MaxPinned > 0 && pinned > opts.MaxPinned {
+			pinned = opts.MaxPinned
+		}
+	}
+	if err := g.RunPinned(at, pinned); err != nil {
+		return nil, err
+	}
+	// Quiesce: every runner has joined at the sync horizon, but each stopped
+	// as soon as it reached `at` without consuming peers' final-window
+	// messages. Drain those residuals through the normal handle path — FIFO
+	// timestamps plus the horizon invariant put them all at or after `at`,
+	// so nothing schedules into the past — then assert every pipe is empty
+	// (the outgoing direction is the peer's incoming one, so this sweep
+	// covers both directions of every channel).
+	for _, r := range g.Runners {
+		for _, e := range r.Endpoints() {
+			e.DrainResidual()
+		}
+	}
+	for _, r := range g.Runners {
+		for _, e := range r.Endpoints() {
+			if !e.Quiesced() {
+				return nil, fmt.Errorf("orch: channel not quiesced at checkpoint horizon %v", at)
+			}
+		}
+	}
+	ck, err := s.capture(scheds, at)
+	for _, sc := range scheds {
+		sc.DiscardPending(core.ReleaseMessage)
+	}
+	return ck, err
+}
+
+// ResumeSequential restores ck into this freshly built simulation and runs
+// it sequentially to end. Returns the scheduler for statistics, like
+// RunSequential.
+func (s *Simulation) ResumeSequential(ck *Checkpoint, end sim.Time) (*sim.Scheduler, error) {
+	if len(s.remotes) > 0 {
+		return nil, fmt.Errorf("%w: remote connections", core.ErrNotCheckpointable)
+	}
+	pl, err := s.Plan(decomp.SingleGroup(len(s.comps)))
+	if err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler(0)
+	sched.StartAt(ck.At)
+	pl.wire([]*sim.Scheduler{sched}, nil)
+	for _, c := range s.comps {
+		c.Attach(core.Env{Sched: sched, Src: s.srcOf[c]})
+	}
+	if err := s.restoreInto(ck, pl, []*sim.Scheduler{sched}); err != nil {
+		return nil, err
+	}
+	for _, c := range s.comps {
+		c.(core.Stateful).StartRestored(end)
+	}
+	for {
+		t, ok := sched.PeekTime()
+		if !ok || t >= end {
+			break
+		}
+		sched.Step()
+	}
+	sched.DiscardPending(core.ReleaseMessage)
+	return sched, nil
+}
+
+// ResumePlaced restores ck into this freshly built simulation and runs it
+// coupled under placement p to end. The run is bit-identical to resuming
+// sequentially, which in turn is bit-identical to never checkpointing.
+func (s *Simulation) ResumePlaced(ck *Checkpoint, end sim.Time, p decomp.Placement, opts ParallelOptions) error {
+	if len(s.remotes) > 0 {
+		return fmt.Errorf("%w: remote connections", core.ErrNotCheckpointable)
+	}
+	pl, err := s.Plan(p)
+	if err != nil {
+		return err
+	}
+	g := &link.Group{}
+	scheds := make([]*sim.Scheduler, pl.NumGroups())
+	runners := make([]*link.Runner, pl.NumGroups())
+	for gi, name := range pl.GroupNames {
+		scheds[gi] = sim.NewScheduler(int32(1000 + gi))
+		scheds[gi].StartAt(ck.At)
+		runners[gi] = link.NewRunner(name, scheds[gi])
+		runners[gi].SetBatchWindows(opts.BatchWindows)
+		runners[gi].SetRestored(true)
+		g.Add(runners[gi])
+	}
+	pl.wire(scheds, runners)
+	for gi, members := range pl.groupComps {
+		for _, ci := range members {
+			c := s.comps[ci]
+			runners[gi].AddComponent(c, s.srcOf[c])
+		}
+	}
+	if err := s.restoreInto(ck, pl, scheds); err != nil {
+		return err
+	}
+	// Lift every endpoint's pre-first-message horizon floor to the resume
+	// time: a fresh endpoint that has heard nothing would otherwise bound
+	// its runner to latency-from-zero and deadlock the restored run.
+	for _, r := range g.Runners {
+		for _, e := range r.Endpoints() {
+			e.SetStart(ck.At)
+		}
+	}
+	s.Group = g
+	if s.PreRun != nil {
+		s.PreRun(g)
+	}
+	pinned := 0
+	if opts.Pin {
+		pinned = len(runners)
+		if opts.MaxPinned > 0 && pinned > opts.MaxPinned {
+			pinned = opts.MaxPinned
+		}
+	}
+	runErr := g.RunPinned(end, pinned)
+	for _, sc := range scheds {
+		sc.DiscardPending(core.ReleaseMessage)
+	}
+	return runErr
+}

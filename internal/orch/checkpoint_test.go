@@ -1,0 +1,342 @@
+package orch_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/hostsim"
+	"repro/internal/instantiate"
+	"repro/internal/memsim"
+	"repro/internal/netsim"
+	"repro/internal/netsim/workload"
+	"repro/internal/nicsim"
+	"repro/internal/orch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// buildCkptSim constructs the checkpoint test fixture: a partitioned
+// three-tier fabric (ac strategy: 1 core+agg part per agg block plus rack
+// parts) with a UDP open-loop workload riding along as aux state. Every
+// call with the same seed builds an identical simulation — the premise of
+// restore-into-fresh-build.
+func buildCkptSim(seed uint64, arrival workload.Arrival) (*orch.Simulation, *netsim.Built, *workload.Engine) {
+	spec := netsim.ThreeTierSpec{
+		Aggs: 2, RacksPerAgg: 2, HostsPerRack: 2,
+		CoreRate: 100 * sim.Gbps, AggRate: 40 * sim.Gbps,
+		HostRate: 10 * sim.Gbps, LinkDelay: sim.Microsecond,
+	}
+	topo, meta := netsim.ThreeTier(spec)
+	assign := decomp.Strategy{Name: "ac"}.Assign(meta, len(topo.Switches))
+	built := topo.Build("net", seed, assign, nil)
+	eng := workload.Install(built.Hosts, workload.Spec{
+		Pattern: workload.Uniform{},
+		Sizes:   workload.Pareto{Min: 600, Alpha: 1.3, Max: 20_000},
+		Arrival: arrival,
+		Seed:    seed,
+	})
+	s := orch.New()
+	instantiate.WirePartitions(s, topo, built, true)
+	s.AddAuxState("wl", eng)
+	return s, built, eng
+}
+
+// ckptDigest folds the full explicit state of the fabric and workload into
+// one value. Two runs that reach the same virtual time with identical state
+// produce identical digests regardless of placement or checkpointing.
+func ckptDigest(t *testing.T, built *netsim.Built, eng *workload.Engine) uint64 {
+	t.Helper()
+	var e snap.Encoder
+	for _, p := range built.Parts {
+		if err := p.SnapshotState(&e); err != nil {
+			t.Fatalf("digest snapshot: %v", err)
+		}
+	}
+	if err := eng.SnapshotState(&e); err != nil {
+		t.Fatalf("digest snapshot: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(e.Bytes())
+	return h.Sum64()
+}
+
+// TestCheckpointRestoreBitIdentical is the tentpole's acceptance property:
+// checkpoint at the halfway horizon, restore into a fresh build, run to the
+// end — the final state digest, the total event count, and the leaked-frame
+// count (zero) all match an uninterrupted run exactly. The resumed half
+// runs sequentially, coupled, and parallel-pinned, across GOMAXPROCS
+// {1, 2, 4, NumCPU}.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	const (
+		dur  = 2 * sim.Millisecond
+		half = sim.Millisecond
+	)
+	arrival := workload.Open{FlowsPerSec: 50_000}
+	for seed := uint64(1); seed <= 2; seed++ {
+		// Uninterrupted reference run.
+		ref, refBuilt, refEng := buildCkptSim(seed, arrival)
+		refSched := ref.RunSequential(dur)
+		refEvents := refSched.Processed()
+		refDigest := ckptDigest(t, refBuilt, refEng)
+		if n := ref.LiveFrames(); n != 0 {
+			t.Fatalf("seed %d: reference run leaked %d frames", seed, n)
+		}
+
+		// Sequential checkpoint at the halfway horizon.
+		cs, _, _ := buildCkptSim(seed, arrival)
+		ck, err := cs.CheckpointSequential(half)
+		if err != nil {
+			t.Fatalf("seed %d: CheckpointSequential: %v", seed, err)
+		}
+		if n := cs.LiveFrames(); n != 0 {
+			t.Fatalf("seed %d: checkpoint run leaked %d frames", seed, n)
+		}
+		if ck.At != half || ck.BaseEvents == 0 || ck.BaseEvents >= refEvents {
+			t.Fatalf("seed %d: checkpoint at=%v base=%d (ref total %d)",
+				seed, ck.At, ck.BaseEvents, refEvents)
+		}
+
+		// Sequential resume.
+		rs, rBuilt, rEng := buildCkptSim(seed, arrival)
+		rSched, err := rs.ResumeSequential(ck, dur)
+		if err != nil {
+			t.Fatalf("seed %d: ResumeSequential: %v", seed, err)
+		}
+		if d := ckptDigest(t, rBuilt, rEng); d != refDigest {
+			t.Fatalf("seed %d: sequential resume digest %#x != reference %#x", seed, d, refDigest)
+		}
+		if got := ck.BaseEvents + rSched.Processed(); got != refEvents {
+			t.Fatalf("seed %d: events %d (base) + %d (resumed) = %d, want %d",
+				seed, ck.BaseEvents, rSched.Processed(), got, refEvents)
+		}
+		if n := rs.LiveFrames(); n != 0 {
+			t.Fatalf("seed %d: resumed run leaked %d frames", seed, n)
+		}
+
+		// Placed and parallel resumes at every GOMAXPROCS level.
+		nComps := rs.NumComponents()
+		for _, procs := range gomaxprocsSweep() {
+			func() {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				modes := []struct {
+					name string
+					opts orch.ParallelOptions
+				}{
+					{"coupled", orch.ParallelOptions{}},
+					{"parallel", orch.DefaultParallelOptions()},
+				}
+				for _, m := range modes {
+					s2, b2, e2 := buildCkptSim(seed, arrival)
+					if err := s2.ResumePlaced(ck, dur, decomp.PerComponent(nComps), m.opts); err != nil {
+						t.Fatalf("seed %d procs %d %s: ResumePlaced: %v", seed, procs, m.name, err)
+					}
+					if d := ckptDigest(t, b2, e2); d != refDigest {
+						t.Fatalf("seed %d procs %d %s: placed resume digest %#x != reference %#x",
+							seed, procs, m.name, d, refDigest)
+					}
+					var events uint64
+					for _, r := range s2.Group.Runners {
+						events += r.Scheduler().Processed()
+					}
+					if got := ck.BaseEvents + events; got != refEvents {
+						t.Fatalf("seed %d procs %d %s: events %d+%d != %d",
+							seed, procs, m.name, ck.BaseEvents, events, refEvents)
+					}
+					if n := s2.LiveFrames(); n != 0 {
+						t.Fatalf("seed %d procs %d %s: leaked %d frames", seed, procs, m.name, n)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestCheckpointBytesPlacementInvariant: the serialized checkpoint is
+// byte-for-byte identical whether it was captured from a sequential run or
+// a quiesced per-component coupled run — sink names and the canonical
+// (time, source) event order erase the placement.
+func TestCheckpointBytesPlacementInvariant(t *testing.T) {
+	const half = sim.Millisecond
+	arrival := workload.Open{FlowsPerSec: 50_000}
+
+	seqSim, _, _ := buildCkptSim(3, arrival)
+	seqCk, err := seqSim.CheckpointSequential(half)
+	if err != nil {
+		t.Fatalf("CheckpointSequential: %v", err)
+	}
+	for _, m := range []struct {
+		name string
+		opts orch.ParallelOptions
+	}{
+		{"coupled", orch.ParallelOptions{}},
+		{"parallel", orch.DefaultParallelOptions()},
+	} {
+		ps, _, _ := buildCkptSim(3, arrival)
+		pck, err := ps.CheckpointPlaced(half, decomp.PerComponent(ps.NumComponents()), m.opts)
+		if err != nil {
+			t.Fatalf("%s: CheckpointPlaced: %v", m.name, err)
+		}
+		if pck.BaseEvents != seqCk.BaseEvents {
+			t.Fatalf("%s: base events %d != sequential %d", m.name, pck.BaseEvents, seqCk.BaseEvents)
+		}
+		if !bytes.Equal(pck.Data, seqCk.Data) {
+			t.Fatalf("%s: checkpoint bytes differ from sequential capture (%d vs %d bytes)",
+				m.name, len(pck.Data), len(seqCk.Data))
+		}
+		if n := ps.LiveFrames(); n != 0 {
+			t.Fatalf("%s: placed checkpoint leaked %d frames", m.name, n)
+		}
+	}
+}
+
+// TestCheckpointClosedLoop drives the named think/burst re-arm paths: a
+// closed-loop workload's pending think timers and pacing bursts must ride
+// through the checkpoint and keep the resumed run bit-identical.
+func TestCheckpointClosedLoop(t *testing.T) {
+	const (
+		dur  = 2 * sim.Millisecond
+		half = sim.Millisecond
+	)
+	arrival := workload.Closed{Concurrency: 2, Think: 10 * sim.Microsecond}
+
+	ref, refBuilt, refEng := buildCkptSim(7, arrival)
+	refEvents := ref.RunSequential(dur).Processed()
+	refDigest := ckptDigest(t, refBuilt, refEng)
+
+	cs, _, _ := buildCkptSim(7, arrival)
+	ck, err := cs.CheckpointSequential(half)
+	if err != nil {
+		t.Fatalf("CheckpointSequential: %v", err)
+	}
+	rs, rBuilt, rEng := buildCkptSim(7, arrival)
+	rSched, err := rs.ResumeSequential(ck, dur)
+	if err != nil {
+		t.Fatalf("ResumeSequential: %v", err)
+	}
+	if d := ckptDigest(t, rBuilt, rEng); d != refDigest {
+		t.Fatalf("closed-loop resume digest %#x != reference %#x", d, refDigest)
+	}
+	if got := ck.BaseEvents + rSched.Processed(); got != refEvents {
+		t.Fatalf("closed-loop events %d+%d != %d", ck.BaseEvents, rSched.Processed(), refEvents)
+	}
+}
+
+// TestCheckpointMemsimSplit checkpoints the split core/memory build midway
+// and verifies the resumed halves reproduce the uninterrupted run's
+// transaction counts and stall accounting, sequentially and placed.
+func TestCheckpointMemsimSplit(t *testing.T) {
+	const (
+		dur  = 50 * sim.Microsecond
+		half = 25 * sim.Microsecond
+	)
+	build := func() (*orch.Simulation, []*memsim.Core, *memsim.Mem) {
+		s := orch.New()
+		cores, mem := memsim.BuildSplit(s, 4, memsim.DefaultParams())
+		return s, cores, mem
+	}
+	digest := func(cores []*memsim.Core, mem *memsim.Mem) uint64 {
+		var e snap.Encoder
+		if err := mem.SnapshotState(&e); err != nil {
+			t.Fatalf("mem snapshot: %v", err)
+		}
+		for _, c := range cores {
+			if err := c.SnapshotState(&e); err != nil {
+				t.Fatalf("core snapshot: %v", err)
+			}
+		}
+		h := fnv.New64a()
+		h.Write(e.Bytes())
+		return h.Sum64()
+	}
+
+	ref, refCores, refMem := build()
+	refEvents := ref.RunSequential(dur).Processed()
+	refDigest := digest(refCores, refMem)
+
+	cs, _, _ := build()
+	ck, err := cs.CheckpointSequential(half)
+	if err != nil {
+		t.Fatalf("CheckpointSequential: %v", err)
+	}
+
+	rs, rCores, rMem := build()
+	rSched, err := rs.ResumeSequential(ck, dur)
+	if err != nil {
+		t.Fatalf("ResumeSequential: %v", err)
+	}
+	if d := digest(rCores, rMem); d != refDigest {
+		t.Fatalf("memsim sequential resume digest %#x != reference %#x", d, refDigest)
+	}
+	if got := ck.BaseEvents + rSched.Processed(); got != refEvents {
+		t.Fatalf("memsim events %d+%d != %d", ck.BaseEvents, rSched.Processed(), refEvents)
+	}
+
+	ps, pCores, pMem := build()
+	if err := ps.ResumePlaced(ck, dur, decomp.PerComponent(ps.NumComponents()),
+		orch.DefaultParallelOptions()); err != nil {
+		t.Fatalf("ResumePlaced: %v", err)
+	}
+	if d := digest(pCores, pMem); d != refDigest {
+		t.Fatalf("memsim placed resume digest %#x != reference %#x", d, refDigest)
+	}
+}
+
+// TestLoadCheckpoint exercises the serialized form: a round trip through
+// LoadCheckpoint preserves the metadata and restores correctly, while
+// truncated or corrupted bytes surface the codec's typed errors instead of
+// garbage state.
+func TestLoadCheckpoint(t *testing.T) {
+	arrival := workload.Open{FlowsPerSec: 50_000}
+	cs, _, _ := buildCkptSim(5, arrival)
+	ck, err := cs.CheckpointSequential(sim.Millisecond)
+	if err != nil {
+		t.Fatalf("CheckpointSequential: %v", err)
+	}
+
+	got, err := orch.LoadCheckpoint(ck.Data)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.At != ck.At || got.BaseEvents != ck.BaseEvents {
+		t.Fatalf("round trip: at=%v base=%d, want at=%v base=%d",
+			got.At, got.BaseEvents, ck.At, ck.BaseEvents)
+	}
+	rs, _, _ := buildCkptSim(5, arrival)
+	if _, err := rs.ResumeSequential(got, 2*sim.Millisecond); err != nil {
+		t.Fatalf("resume from reloaded checkpoint: %v", err)
+	}
+
+	if _, err := orch.LoadCheckpoint(ck.Data[:len(ck.Data)/2]); !errors.Is(err, snap.ErrTruncated) && !errors.Is(err, snap.ErrCorrupt) {
+		t.Fatalf("truncated checkpoint: err = %v, want ErrTruncated or ErrCorrupt", err)
+	}
+	garbled := append([]byte(nil), ck.Data...)
+	garbled[len(garbled)/2] ^= 0x5a
+	if _, err := orch.LoadCheckpoint(garbled); !errors.Is(err, snap.ErrCorrupt) {
+		t.Fatalf("garbled checkpoint: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCheckpointRejectsImplicitState: a simulation containing a component
+// without explicit state (the detailed host pipeline) fails checkpointing
+// with the typed error rather than silently dropping state.
+func TestCheckpointRejectsImplicitState(t *testing.T) {
+	n := netsim.New("net", 1)
+	sw := n.AddSwitch("sw")
+	ip := proto.HostIP(5)
+	ext := n.AddExternal(sw, "h", 10*sim.Gbps, ip)
+	n.ComputeRoutes()
+	s := orch.New()
+	s.Add(n)
+	dh := instantiate.NewDetailedHost("h", ip, hostsim.QemuParams(), nicsim.DefaultParams(), 3)
+	dh.Wire(s, n, ext)
+
+	if _, err := s.CheckpointSequential(sim.Millisecond); !errors.Is(err, core.ErrNotCheckpointable) {
+		t.Fatalf("detailed-host checkpoint: err = %v, want ErrNotCheckpointable", err)
+	}
+}

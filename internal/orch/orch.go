@@ -89,6 +89,7 @@ type Simulation struct {
 	conns   []*connection
 	trunks  []*trunkConn
 	remotes []*remoteConn
+	auxs    []auxEntry
 	nextSrc int32
 
 	// Group is populated by RunCoupled for profiler attachment.

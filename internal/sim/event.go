@@ -69,9 +69,11 @@ func (t *Timer) When() Time { return t.at }
 type eventEntry struct {
 	at  Time
 	src int32
-	// del marks a typed delivery event: when non-zero the event runs
+	// del marks a typed event: when positive the event runs
 	// sink.Deliver(at, payload) from the scheduler's delivery side table at
-	// slot del-1, and fn is nil. Keeping only an index here (it packs into
+	// slot del-1; when negative it runs the named handler recorded in the
+	// named-event side table at slot -del-1. fn is nil either way. Keeping
+	// only an index here (it packs into
 	// src's padding) holds the entry at 40 bytes — storing the two
 	// interface values inline would nearly double the bytes and the GC
 	// write-barrier work every heap sift copies.

@@ -23,6 +23,14 @@ type Scheduler struct {
 	// deliveries and are then allocation-free.
 	deliveries []delivery
 	freeDel    []int32
+
+	// namedEvts is the analogous side table for named events (negative
+	// eventEntry.del values); named/namedIdx hold the handler registry.
+	// See state.go.
+	namedEvts []namedEvent
+	freeNamed []int32
+	named     []namedHandler
+	namedIdx  map[string]int32
 }
 
 type delivery struct {
@@ -160,12 +168,20 @@ func (s *Scheduler) runHead() {
 		e.timer.fired = true
 	}
 	s.done++
-	if e.del != 0 {
+	if e.del > 0 {
 		i := e.del - 1
 		d := s.deliveries[i]
 		s.deliveries[i] = delivery{} // drop references before recycling
 		s.freeDel = append(s.freeDel, i)
 		d.sink.Deliver(e.at, d.payload)
+		return
+	}
+	if e.del < 0 {
+		i := -e.del - 1
+		ne := s.namedEvts[i]
+		s.namedEvts[i] = namedEvent{}
+		s.freeNamed = append(s.freeNamed, i)
+		s.named[ne.h].fn(ne.args)
 		return
 	}
 	e.fn()
@@ -233,7 +249,7 @@ func (s *Scheduler) DiscardPending(fn func(Payload)) int {
 		if e == nil {
 			break
 		}
-		if e.del != 0 && fn != nil {
+		if e.del > 0 && fn != nil {
 			fn(s.deliveries[e.del-1].payload)
 		}
 		s.q.Pop()
@@ -241,6 +257,8 @@ func (s *Scheduler) DiscardPending(fn func(Payload)) int {
 	}
 	s.deliveries = s.deliveries[:0]
 	s.freeDel = s.freeDel[:0]
+	s.namedEvts = s.namedEvts[:0]
+	s.freeNamed = s.freeNamed[:0]
 	return n
 }
 

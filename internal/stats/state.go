@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Snapshot appends the recorder's full state: retained samples, the sort
+// flag, reservoir bounds, observation count, and the replacement RNG. A
+// restored recorder continues the exact same sample-replacement sequence an
+// uninterrupted one would have produced.
+func (l *Latency) Snapshot(e *snap.Encoder) {
+	e.U32(uint32(len(l.samples)))
+	for _, s := range l.samples {
+		e.I64(int64(s))
+	}
+	e.Bool(l.sorted)
+	e.U32(uint32(l.cap))
+	e.U64(l.seen)
+	e.Bool(l.rng != nil)
+	if l.rng != nil {
+		e.U64(l.rng.State())
+	}
+}
+
+// Restore loads state captured by Snapshot into l, replacing whatever it
+// held. The recorder's bound must match the snapshot's (both come from the
+// same construction parameters on an identical build).
+func (l *Latency) Restore(d *snap.Decoder) error {
+	n := int(d.U32())
+	l.samples = l.samples[:0]
+	for i := 0; i < n; i++ {
+		if d.Err() != nil {
+			return d.Err()
+		}
+		l.samples = append(l.samples, sim.Time(d.I64()))
+	}
+	l.sorted = d.Bool()
+	if cap := int(d.U32()); d.Err() == nil && cap != l.cap {
+		return fmt.Errorf("stats: reservoir bound mismatch (snapshot %d, recorder %d)", cap, l.cap)
+	}
+	l.seen = d.U64()
+	hasRNG := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasRNG != (l.rng != nil) {
+		return fmt.Errorf("stats: reservoir RNG presence mismatch")
+	}
+	if hasRNG {
+		l.rng.SetState(d.U64())
+	}
+	return d.Err()
+}

@@ -37,11 +37,12 @@ func (k *benchSink) Deliver(_ sim.Time, m sim.Payload) {
 	f.Release()
 }
 
-func (x *benchXport) Now() sim.Time             { return x.sched.Now() }
-func (x *benchXport) Post(d sim.Time, fn func()) { x.sched.Post(x.sched.Now()+d, fn) }
-func (x *benchXport) NewFrame() *proto.Frame    { return x.pool.Get() }
-func (x *benchXport) LocalIP() proto.IP         { return x.ip }
-func (x *benchXport) LocalMAC() proto.MAC       { return x.mac }
+func (x *benchXport) Now() sim.Time               { return x.sched.Now() }
+func (x *benchXport) Post(d sim.Time, fn func())  { x.sched.Post(x.sched.Now()+d, fn) }
+func (x *benchXport) PostRTO(c *Conn, d sim.Time) { x.sched.Post(x.sched.Now()+d, c.RTOFire) }
+func (x *benchXport) NewFrame() *proto.Frame      { return x.pool.Get() }
+func (x *benchXport) LocalIP() proto.IP           { return x.ip }
+func (x *benchXport) LocalMAC() proto.MAC         { return x.mac }
 
 func (x *benchXport) Output(f *proto.Frame) {
 	if x.dropMod > 0 && f.PayloadLen() > 0 {

@@ -1,0 +1,80 @@
+package tcpstack
+
+import (
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Explicit-state support: a connection's protocol numerics serialize so a
+// host can checkpoint flows that were installed at build time. Identity
+// (transport, addresses, ports, algorithm, callbacks) does not serialize —
+// a restore runs on a freshly constructed, identically configured Conn.
+
+// Remote returns the peer address.
+func (c *Conn) Remote() proto.IP { return c.remote }
+
+// LocalPort returns the local TCP port.
+func (c *Conn) LocalPort() uint16 { return c.lport }
+
+// RemotePort returns the peer TCP port.
+func (c *Conn) RemotePort() uint16 { return c.rport }
+
+// Snapshot appends the connection's mutable protocol state.
+func (c *Conn) Snapshot(e *snap.Encoder) {
+	e.I64(c.sndUna)
+	e.I64(c.sndNxt)
+	e.I64(c.total)
+	e.F64(c.cwnd)
+	e.F64(c.ssthresh)
+	e.I64(int64(c.dupAcks))
+	e.I64(int64(c.rtoBackoff))
+	e.I64(int64(c.srtt))
+	e.I64(int64(c.rttvar))
+	e.I64(int64(c.rtoDeadline))
+	e.Bool(c.rtoPending)
+	e.I64(c.measureSeq)
+	e.I64(int64(c.measureAt))
+	e.Bool(c.measureValid)
+	e.F64(c.alpha)
+	e.I64(c.winEnd)
+	e.I64(c.ackedBytes)
+	e.I64(c.markedInWin)
+	e.I64(c.lastReduceEnd)
+	e.I64(c.rcvNxt)
+	e.I64(c.delivered)
+	e.Bool(c.done)
+	e.U64(c.Retransmits)
+	e.U64(c.Timeouts)
+}
+
+// Restore loads state captured by Snapshot. The pending-RTO flag restores
+// too: the checkpoint's event section re-posts the firing itself, so the
+// flag and the event arrive together.
+func (c *Conn) Restore(d *snap.Decoder) error {
+	c.sndUna = d.I64()
+	c.sndNxt = d.I64()
+	c.total = d.I64()
+	c.cwnd = d.F64()
+	c.ssthresh = d.F64()
+	c.dupAcks = int(d.I64())
+	c.rtoBackoff = int(d.I64())
+	c.srtt = sim.Time(d.I64())
+	c.rttvar = sim.Time(d.I64())
+	c.rtoDeadline = sim.Time(d.I64())
+	c.rtoPending = d.Bool()
+	c.measureSeq = d.I64()
+	c.measureAt = sim.Time(d.I64())
+	c.measureValid = d.Bool()
+	c.alpha = d.F64()
+	c.winEnd = d.I64()
+	c.ackedBytes = d.I64()
+	c.markedInWin = d.I64()
+	c.lastReduceEnd = d.I64()
+	c.rcvNxt = d.I64()
+	c.delivered = d.I64()
+	c.done = d.Bool()
+	c.Retransmits = d.U64()
+	c.Timeouts = d.U64()
+	return d.Err()
+}

@@ -23,6 +23,11 @@ type Transport interface {
 	// Post schedules fn after d with no cancellation handle; the stack's
 	// timer logic tolerates stale firings, so the cheaper primitive suffices.
 	Post(d sim.Time, fn func())
+	// PostRTO schedules c.RTOFire() after d. It exists (instead of the
+	// stack posting a bound closure through Post) so transports can record
+	// the pending firing as an explicit, serializable event — a checkpoint
+	// names the connection, not a func pointer.
+	PostRTO(c *Conn, d sim.Time)
 	// NewFrame returns a zeroed frame for an outgoing segment, pooled when
 	// the transport pools (ownership transfers back via Output).
 	NewFrame() *proto.Frame
@@ -90,18 +95,18 @@ type Conn struct {
 	srtt, rttvar   sim.Time
 
 	// Lazily re-armed retransmission timer: rtoDeadline is the earliest
-	// instant a timeout may act (-1 when disarmed), rtoPending whether a
-	// posted firing is outstanding, rtoFireFn the bound firing closure
-	// (allocated once). Re-arming updates the deadline; a firing that
-	// arrives before it re-posts instead of timing out. That replaces the
-	// cancel-and-recreate Timer the previous implementation paid for on
-	// every ACK.
+	// instant a timeout may act (0 when disarmed), rtoPending whether a
+	// posted firing is outstanding. Re-arming updates the deadline; a
+	// firing that arrives before it re-posts instead of timing out. That
+	// replaces the cancel-and-recreate Timer the previous implementation
+	// paid for on every ACK. The firing itself travels through
+	// Transport.PostRTO so it stays a serializable record.
 	rtoDeadline sim.Time
 	rtoPending  bool
-	rtoFireFn   func()
-	measureSeq     int64
-	measureAt      sim.Time
-	measureValid   bool
+
+	measureSeq   int64
+	measureAt    sim.Time
+	measureValid bool
 
 	// DCTCP state.
 	alpha                   float64
@@ -244,23 +249,21 @@ func (c *Conn) armRTO() {
 	if c.rtoPending {
 		return
 	}
-	if c.rtoFireFn == nil {
-		c.rtoFireFn = c.rtoFire
-	}
 	c.rtoPending = true
-	c.tr.Post(c.rto(), c.rtoFireFn)
+	c.tr.PostRTO(c, c.rto())
 }
 
-// rtoFire runs when a posted RTO event arrives: stale or early firings
-// re-post or vanish, only a firing at (or past) the live deadline times out.
-func (c *Conn) rtoFire() {
+// RTOFire runs when a posted RTO event arrives: stale or early firings
+// re-post or vanish, only a firing at (or past) the live deadline times
+// out. Transports invoke it from the event their PostRTO scheduled.
+func (c *Conn) RTOFire() {
 	c.rtoPending = false
 	if c.done || c.rtoDeadline == 0 {
 		return
 	}
 	if now := c.tr.Now(); now < c.rtoDeadline {
 		c.rtoPending = true
-		c.tr.Post(c.rtoDeadline-now, c.rtoFireFn)
+		c.tr.PostRTO(c, c.rtoDeadline-now)
 		return
 	}
 	c.onRTO()

@@ -39,9 +39,12 @@ func (e *endpoint) Now() sim.Time { return e.l.sched.Now() }
 func (e *endpoint) Post(d sim.Time, fn func()) {
 	e.l.sched.Post(e.l.sched.Now()+d, fn)
 }
+func (e *endpoint) PostRTO(c *Conn, d sim.Time) {
+	e.l.sched.Post(e.l.sched.Now()+d, c.RTOFire)
+}
 func (e *endpoint) NewFrame() *proto.Frame { return &proto.Frame{} }
 func (e *endpoint) LocalIP() proto.IP      { return e.ip }
-func (e *endpoint) LocalMAC() proto.MAC { return proto.MACFromID(uint32(e.ip)) }
+func (e *endpoint) LocalMAC() proto.MAC    { return proto.MACFromID(uint32(e.ip)) }
 func (e *endpoint) Output(f *proto.Frame) {
 	peer := e.peer
 	if e.l.mangle != nil {
