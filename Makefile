@@ -40,9 +40,12 @@ chaos:
 		./internal/proxy/ ./internal/orch/
 
 # Datacenter-fabric smoke: a small prefix-routed Clos must build, route,
-# and complete incast + shuffle workloads with zero frame leaks.
+# and complete incast + shuffle workloads with zero frame leaks; the
+# flow-level background tier must run a mixed-fidelity phase without
+# materializing background hosts.
 scale:
-	$(GO) test -run 'TestScaleSmoke' ./internal/experiments/
+	$(GO) test -run 'TestScaleSmoke|TestScaleMixedSmoke' ./internal/experiments/
+	$(GO) test -run 'TestFlowSmoke' ./internal/netsim/flowsim/
 
 # Checkpoint/restore gate: deterministic checkpoints must restore
 # bit-identically across placements and GOMAXPROCS levels, and the

@@ -9,9 +9,12 @@
 //
 // After writing, it diffs the new entry against the latest entry recorded
 // for any other revision and prints a per-benchmark regression report,
-// flagging ns/op slowdowns beyond -regress-pct (default 20%). With
-// -fail-on-regress the process exits non-zero on a flagged regression; CI
-// runs it that way as a non-blocking advisory step.
+// flagging ns/op slowdowns beyond -regress-pct (default 20%). Custom
+// b.ReportMetric units are diffed direction-aware: throughput-style units
+// ("/s" rates, "endpoints", "x"-prefixed ratios) are flagged when they
+// *drop* past the threshold, everything else (latency-style) when it
+// rises. With -fail-on-regress the process exits non-zero on a flagged
+// regression; CI runs it that way as a non-blocking advisory step.
 //
 // A second mode reads nothing from stdin and instead re-runs the regression
 // diff over already-committed baseline files — every suite at once:
@@ -313,9 +316,12 @@ func plural(n int, one, many string) string {
 
 // report diffs entry against prev (the latest committed entry for another
 // revision) and prints one line per benchmark with the ns/op delta,
-// flagging slowdowns beyond regressPct. It returns the number of flagged
-// regressions. Benchmarks present on only one side are reported but never
-// flagged: added or removed benchmarks are not slowdowns.
+// flagging slowdowns beyond regressPct. Custom metrics recorded on both
+// sides are diffed too, direction-aware (see higherBetter); a metric that
+// moved past the threshold in its bad direction gets its own flagged line
+// under the benchmark. It returns the number of flagged regressions.
+// Benchmarks or metrics present on only one side are reported but never
+// flagged: added or removed measurements are not slowdowns.
 func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float64) int {
 	if prev == nil {
 		fmt.Fprintf(w, "benchjson: %s: no previous entry to diff against\n", suite)
@@ -344,6 +350,7 @@ func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float6
 		}
 		fmt.Fprintf(w, "  %-40s %10.2f -> %10.2f ns/op  %+6.1f%%%s%s\n",
 			name, p.NsOp, c.NsOp, pct, flag, metricsSuffix(c.Metrics))
+		regressions += reportMetrics(w, p.Metrics, c.Metrics, regressPct)
 	}
 	for name := range prev.Results {
 		if _, ok := cur.Results[name]; !ok {
@@ -351,14 +358,53 @@ func report(w io.Writer, suite string, prev *Entry, cur Entry, regressPct float6
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "benchjson: %s: %d benchmark(s) regressed more than %.0f%% ns/op\n",
+		fmt.Fprintf(w, "benchjson: %s: %d measurement(s) regressed more than %.0f%%\n",
 			suite, regressions, regressPct)
 	}
 	return regressions
 }
 
-// metricsSuffix renders custom metrics as "  [pkts/s=1.2e+06 ...]";
-// informational only — regression flagging stays on ns/op.
+// higherBetter classifies a custom metric unit's good direction. Rates
+// ("pkts/s", "flows/s", ...), capacity counts ("endpoints"), and
+// "x"-prefixed speedup ratios ("x-events") improve upward; everything
+// else — latencies, byte footprints — improves downward, matching ns/op.
+func higherBetter(unit string) bool {
+	return strings.Contains(unit, "/s") || unit == "endpoints" || strings.HasPrefix(unit, "x")
+}
+
+// reportMetrics diffs one benchmark's custom metrics direction-aware and
+// prints a flagged line per metric that moved past regressPct in its bad
+// direction: a drop for higher-better units, a rise for the rest. Returns
+// the number of flagged metrics.
+func reportMetrics(w io.Writer, prev, cur map[string]float64, regressPct float64) int {
+	units := make([]string, 0, len(cur))
+	for u := range cur {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	regressions := 0
+	for _, u := range units {
+		pv, ok := prev[u]
+		if !ok || pv == 0 {
+			continue
+		}
+		pct := (cur[u] - pv) / pv * 100
+		bad := pct > regressPct
+		if higherBetter(u) {
+			bad = pct < -regressPct
+		}
+		if bad {
+			fmt.Fprintf(w, "    %-38s %10.4g -> %10.4g %-10s %+6.1f%%  REGRESSION\n",
+				"", pv, cur[u], u, pct)
+			regressions++
+		}
+	}
+	return regressions
+}
+
+// metricsSuffix renders custom metrics as "  [pkts/s=1.2e+06 ...]" on the
+// benchmark's ns/op line; direction-aware flagging happens in
+// reportMetrics.
 func metricsSuffix(m map[string]float64) string {
 	if len(m) == 0 {
 		return ""

@@ -40,6 +40,82 @@ func TestBaselineForPrefersSameMachine(t *testing.T) {
 	}
 }
 
+func TestHigherBetter(t *testing.T) {
+	cases := map[string]bool{
+		"pkts/s":     true, // throughput rate
+		"flows/s":    true,
+		"endpoints":  true,  // fabric capacity
+		"x-events":   true,  // speedup ratio
+		"bytes/host": false, // footprint: lower is better
+		"fct-ns":     false,
+		"ms/build":   false,
+	}
+	for unit, want := range cases {
+		if got := higherBetter(unit); got != want {
+			t.Errorf("higherBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestReportDirectionAwareMetrics checks that custom metrics are flagged in
+// their bad direction only: a >20% throughput drop and a >20% footprint
+// rise regress; the same moves in the good direction do not.
+func TestReportDirectionAwareMetrics(t *testing.T) {
+	prev := &Entry{Rev: "PR1", Results: map[string]Result{
+		"BenchmarkScaleMixed1M": {NsOp: 100, Metrics: map[string]float64{
+			"pkts/s":     1000, // will drop 50% — flag
+			"endpoints":  1e6,  // unchanged
+			"bytes/host": 100,  // will rise 50% — flag
+		}},
+		"BenchmarkOther": {NsOp: 100, Metrics: map[string]float64{
+			"pkts/s":     1000, // will rise 50% — improvement, no flag
+			"bytes/host": 100,  // will drop 50% — improvement, no flag
+			"new/s":      0,    // appears only in cur — no flag
+		}},
+	}}
+	cur := Entry{Rev: "PR2", Results: map[string]Result{
+		"BenchmarkScaleMixed1M": {NsOp: 100, Metrics: map[string]float64{
+			"pkts/s":     500,
+			"endpoints":  1e6,
+			"bytes/host": 150,
+		}},
+		"BenchmarkOther": {NsOp: 100, Metrics: map[string]float64{
+			"pkts/s":     1500,
+			"bytes/host": 50,
+			"new/s":      42,
+		}},
+	}}
+	var b strings.Builder
+	got := report(&b, "scale", prev, cur, 20)
+	if got != 2 {
+		t.Fatalf("report flagged %d regressions, want 2 (pkts/s drop + bytes/host rise)\n%s", got, b.String())
+	}
+	out := b.String()
+	if c := strings.Count(out, "REGRESSION"); c != 2 {
+		t.Fatalf("output has %d REGRESSION marks, want 2:\n%s", c, out)
+	}
+	for _, frag := range []string{"pkts/s", "bytes/host", "-50.0%", "+50.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestReportNsOpAndMetricBothCount checks a benchmark can contribute both
+// an ns/op regression and a metric regression to the flagged total.
+func TestReportNsOpAndMetricBothCount(t *testing.T) {
+	prev := &Entry{Rev: "PR1", Results: map[string]Result{
+		"BenchmarkX": {NsOp: 100, Metrics: map[string]float64{"pkts/s": 1000}},
+	}}
+	cur := Entry{Rev: "PR2", Results: map[string]Result{
+		"BenchmarkX": {NsOp: 200, Metrics: map[string]float64{"pkts/s": 100}},
+	}}
+	var b strings.Builder
+	if got := report(&b, "s", prev, cur, 20); got != 2 {
+		t.Fatalf("report = %d, want 2 (ns/op + pkts/s)\n%s", got, b.String())
+	}
+}
+
 func TestMachineFingerprintShape(t *testing.T) {
 	fp := machineFingerprint()
 	if !strings.Contains(fp, "x ") || strings.HasPrefix(fp, "0x") {

@@ -60,6 +60,13 @@ func catalog() map[string]runner {
 		"scale": func(o experiments.Options) (string, error) {
 			return experiments.Scale(o).String(), nil
 		},
+		"flowsim": func(o experiments.Options) (string, error) {
+			r, err := experiments.Flowsim(o)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		},
 		"scaleout": func(o experiments.Options) (string, error) {
 			r, err := experiments.ScaleOut(o)
 			if err != nil {
@@ -138,6 +145,8 @@ flags for run and plan:
   -checkpoint-at us     warmup horizon in microseconds for checkpointing experiments (warmstart)
   -checkpoint-file f    write the captured checkpoint to f
   -restore-file f       resume from a checkpoint file instead of simulating the warmup
+  -hosts n       target endpoint count for scale/flowsim (e.g. -hosts 1000000; 0 = scale-derived)
+  -bg t          background-traffic tier for scale/flowsim: "flow" = flow-level fluid tier
 
 experiments: %v
 plannable: %v
@@ -155,10 +164,16 @@ func parseOpts(cmd string, args []string) experiments.Options {
 	ckAt := fs.Float64("checkpoint-at", 0, "warmup horizon in microseconds (checkpointing experiments)")
 	ckFile := fs.String("checkpoint-file", "", "write the captured checkpoint here")
 	restore := fs.String("restore-file", "", "resume from this checkpoint file")
+	hosts := fs.Int("hosts", 0, "target endpoint count for the scale experiments (0 = scale-derived)")
+	bg := fs.String("bg", "", "background-traffic tier for scale experiments: flow")
 	_ = fs.Parse(args)
+	if *bg != "" && *bg != "flow" {
+		fail("-bg accepts \"flow\", not %q", *bg)
+	}
 	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement, Parallel: *parallel,
 		CheckpointAt:   sim.Time(*ckAt * float64(sim.Microsecond)),
-		CheckpointFile: *ckFile, RestoreFile: *restore}
+		CheckpointFile: *ckFile, RestoreFile: *restore,
+		Hosts: *hosts, Bg: *bg}
 }
 
 func fail(format string, args ...interface{}) {

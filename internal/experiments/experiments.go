@@ -41,6 +41,15 @@ type Options struct {
 	// RestoreFile, when set, resumes from a previously saved checkpoint
 	// instead of simulating the warmup prefix.
 	RestoreFile string
+	// Hosts overrides the scale experiments' fabric size with a target
+	// endpoint count (e.g. 1000000). Zero keeps the Scale-derived fabric.
+	// Large targets (≥200k) switch the generator to default-up routing
+	// and denser leaves so switch count and route state stay tractable.
+	Hosts int
+	// Bg selects a background-traffic tier for the scale experiments:
+	// "" (none) or "flow" (the flow-level fluid tier over every host
+	// slot, coupled to the packet-level foreground at shared links).
+	Bg string
 }
 
 // DefaultOptions returns paper-scale settings.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/instantiate"
 	"repro/internal/netsim"
+	"repro/internal/netsim/flowsim"
 	"repro/internal/netsim/topogen"
 	"repro/internal/netsim/workload"
 	"repro/internal/orch"
@@ -36,6 +37,13 @@ type ScalePhase struct {
 	SimPkts    uint64  // frames through switches, simulated
 	WallMs     float64 // harness wall time
 	PktsPerSec float64 // SimPkts / wall
+
+	// Background flow-tier accounting (zero unless Options.Bg == "flow"):
+	// active elephants, scheduler events the fluid tier consumed, and the
+	// packet-level event projection for the traffic it drained.
+	BgFlows         int
+	BgEvents        uint64
+	BgProjPktEvents uint64
 }
 
 // ScaleResult is the experiment outcome.
@@ -62,20 +70,77 @@ func (r *ScaleResult) String() string {
 			stats.FmtRate(p.PktsPerSec))
 	}
 	b.WriteString(t.String())
+	for _, p := range r.Phases {
+		if p.BgEvents > 0 {
+			fmt.Fprintf(&b, "%s background: %d elephants, %d flow events vs %d projected packet events (%.0fx fewer)\n",
+				p.Name, p.BgFlows, p.BgEvents, p.BgProjPktEvents,
+				float64(p.BgProjPktEvents)/float64(p.BgEvents))
+		}
+	}
 	return b.String()
 }
 
-// scaleSpec derives the fabric from the option scale.
+// scaleSpec derives the fabric from the option scale, or from an explicit
+// -hosts target. Million-endpoint targets densify the leaves and switch to
+// default-up routing so switch count and per-switch route state stay flat
+// while the slot count crosses 10⁶.
 func scaleSpec(opts Options) topogen.ClosSpec {
+	spec := topogen.ClosSpec{
+		LeafPerPod: 32, SpinePerPod: 8, Cores: 32, HostsPerLeaf: 32,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps, CoreRate: 100 * sim.Gbps,
+		LinkDelay: sim.Microsecond, Lazy: true,
+	}
+	if opts.Hosts > 0 {
+		if opts.Hosts >= 200_000 {
+			spec.HostsPerLeaf = 64
+			spec.DefaultUp = true
+		}
+		perPod := spec.LeafPerPod * spec.HostsPerLeaf
+		pods := (opts.Hosts + perPod - 1) / perPod
+		if pods < 4 {
+			pods = 4
+		}
+		spec.Pods = pods
+		return spec
+	}
 	pods := int(math.Round(100 * opts.scale()))
 	if pods < 4 {
 		pods = 4
 	}
-	return topogen.ClosSpec{
-		Pods: pods, LeafPerPod: 32, SpinePerPod: 8, Cores: 32, HostsPerLeaf: 32,
-		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps, CoreRate: 100 * sim.Gbps,
-		LinkDelay: sim.Microsecond, Lazy: true,
+	spec.Pods = pods
+	return spec
+}
+
+// scaleAllSlots flattens every host slot of the fabric — the flow tier's
+// endpoint set. No slot is materialized by this.
+func scaleAllSlots(m *topogen.ClosMeta) []int {
+	out := make([]int, 0, m.TotalHosts())
+	for _, pod := range m.HostSlots {
+		for _, leaf := range pod {
+			out = append(out, leaf...)
+		}
 	}
+	return out
+}
+
+// bgElephants pairs load·n/2 disjoint endpoints into long-lived background
+// flows starting at t=0. Each endpoint appears in at most one flow, so a
+// pair's max-min rate is its access-link share and the fabric carries
+// roughly load·n/2 concurrent elephants for the whole horizon — a steady
+// background occupancy knob that costs the fluid tier O(1) events after
+// the initial admission.
+func bgElephants(n int, load float64, seed uint64) *workload.Trace {
+	k := int(load * float64(n) / 2)
+	tr := &workload.Trace{}
+	if k <= 0 {
+		return tr
+	}
+	perm := sim.NewRand(seed).Perm(n)
+	tr.Flows = make([]workload.TraceFlow, k)
+	for i := 0; i < k; i++ {
+		tr.Flows[i] = workload.TraceFlow{Src: perm[2*i], Dst: perm[2*i+1], Bytes: 1 << 30}
+	}
+	return tr
 }
 
 // scaleParticipants picks n host slots spread across pods and leaves.
@@ -110,6 +175,15 @@ func scalePhase(name string, opts Options, wl workload.Spec, participants int, d
 		hosts[i] = b.MaterializeSlot(slot)
 	}
 	eng := workload.Install(hosts, wl)
+	var bg *flowsim.Engine
+	if opts.Bg == "flow" {
+		// Steady elephant background over every slot at 30% endpoint
+		// occupancy — no background host is ever materialized.
+		bg = flowsim.Install(b, scaleAllSlots(m), flowsim.Spec{
+			Trace: bgElephants(m.TotalHosts(), 0.3, opts.Seed^0xb105),
+			Seed:  opts.Seed ^ 0xb105,
+		})
+	}
 	s := orch.New()
 	instantiate.WirePartitions(s, topo, b, true)
 
@@ -138,7 +212,7 @@ func scalePhase(name string, opts Options, wl workload.Spec, participants int, d
 	}
 
 	rep := eng.Collect()
-	return ScalePhase{
+	ph := ScalePhase{
 		Name:       name,
 		Flows:      rep.FlowsStarted,
 		Completed:  rep.FlowsCompleted,
@@ -149,6 +223,13 @@ func scalePhase(name string, opts Options, wl workload.Spec, participants int, d
 		WallMs:     wallMs,
 		PktsPerSec: float64(pkts) / (wallMs / 1000),
 	}
+	if bg != nil {
+		br := bg.Collect()
+		ph.BgFlows = br.ActiveFlows
+		ph.BgEvents = br.Events
+		ph.BgProjPktEvents = br.ProjPacketEvents
+	}
+	return ph
 }
 
 // Scale runs the incast and shuffle phases.

@@ -1,0 +1,90 @@
+package flowsim_test
+
+import (
+	"testing"
+
+	"repro/internal/instantiate"
+	"repro/internal/netsim"
+	"repro/internal/netsim/flowsim"
+	"repro/internal/netsim/topogen"
+	"repro/internal/netsim/workload"
+	"repro/internal/orch"
+	"repro/internal/sim"
+)
+
+// BenchmarkScaleMixed1M is the tentpole scaling benchmark, recorded into
+// BENCH_scale.json by scripts/bench.sh: a 10⁶-endpoint Clos (489 pods ×
+// 32 leaves × 64 hosts/leaf = 1,001,472 slots, default-up routing) carries
+// a packet-level incast foreground in one pod while the flow-level tier
+// holds elephants on 30% of all endpoints. No background host is ever
+// materialized; the fluid tier's whole event bill is the admission wave.
+// Reported metrics: endpoints (fabric size), x-events (packet-level event
+// projection over flow-tier events — the mixed-fidelity speedup), pkts/s
+// (foreground packet throughput per wall-clock second).
+func BenchmarkScaleMixed1M(b *testing.B) {
+	spec := topogen.ClosSpec{
+		Pods: 489, LeafPerPod: 32, SpinePerPod: 8, Cores: 32, HostsPerLeaf: 64,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps, CoreRate: 100 * sim.Gbps,
+		LinkDelay: sim.Microsecond, Lazy: true, DefaultUp: true,
+	}
+	const dur = 2 * sim.Millisecond
+	var endpoints int
+	var pkts, events, proj uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, m := topogen.Clos(spec)
+		bt := topo.Build("mixed1m", 42, nil, nil)
+		endpoints = m.TotalHosts()
+
+		slots := m.HostSlots[0][0][:33]
+		hosts := make([]*netsim.Host, len(slots))
+		for j, slot := range slots {
+			hosts[j] = bt.MaterializeSlot(slot)
+		}
+		weng := workload.Install(hosts, workload.Spec{
+			Pattern: workload.Incast{Victim: 0},
+			Sizes:   workload.Fixed(20_000),
+			Arrival: workload.Open{FlowsPerSec: 1_000},
+			Seed:    42,
+		})
+
+		all := make([]int, 0, endpoints)
+		for _, pod := range m.HostSlots {
+			for _, leaf := range pod {
+				all = append(all, leaf...)
+			}
+		}
+		tr := &workload.Trace{}
+		perm := sim.NewRand(42).Perm(endpoints)
+		k := int(0.3 * float64(endpoints) / 2)
+		tr.Flows = make([]workload.TraceFlow, k)
+		for j := 0; j < k; j++ {
+			tr.Flows[j] = workload.TraceFlow{Src: perm[2*j], Dst: perm[2*j+1], Bytes: 1 << 30}
+		}
+		feng := flowsim.Install(bt, all, flowsim.Spec{Trace: tr, Seed: 7})
+
+		s := orch.New()
+		instantiate.WirePartitions(s, topo, bt, true)
+		s.RunSequential(dur)
+
+		wr := weng.Collect()
+		fr := feng.Collect()
+		if wr.FlowsCompleted == 0 {
+			b.Fatal("foreground idle under background load")
+		}
+		if fr.ActiveFlows != k {
+			b.Fatalf("background admitted %d/%d elephants", fr.ActiveFlows, k)
+		}
+		if fr.ProjPacketEvents < 10*fr.Events {
+			b.Fatalf("flow tier spent %d events vs %d projected — want ≥10×", fr.Events, fr.ProjPacketEvents)
+		}
+		for _, sw := range bt.Switches {
+			pkts += sw.RxPackets
+		}
+		events += fr.Events
+		proj += fr.ProjPacketEvents
+	}
+	b.ReportMetric(float64(endpoints), "endpoints")
+	b.ReportMetric(float64(proj)/float64(events), "x-events")
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}

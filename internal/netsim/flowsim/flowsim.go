@@ -1,0 +1,746 @@
+// Package flowsim is the flow-level background-traffic tier: it models
+// bulk flows as fluid rates under max-min fair sharing over the fabric's
+// link graph instead of as individual frames. Time advances only at flow
+// starts, completions, and the rate recomputations they trigger, so the
+// scheduler cost is O(active flows), independent of flow size — a 10⁶-
+// endpoint background mix costs thousands of events where the packet tier
+// would cost billions of frames.
+//
+// The tier coexists with the packet-level substrate on one fabric
+// (SplitSim's mixed-fidelity split: only flows under study pay packet-
+// level cost). Coupling is one-way at shared links: whenever a link's
+// aggregate background rate changes, the engine calls Iface.Reserve on
+// the transmitter, which shrinks the capacity foreground frames serialize
+// at and adds an M/M/1-style queueing delay. Foreground traffic does not
+// push back on background flows; the fluid trajectory is a pure function
+// of virtual time.
+//
+// Determinism by replication: partitioned builds get one replica of the
+// whole fluid computation per partition. Every replica computes the
+// identical global trajectory from the same seed (flow arrivals, paths,
+// rates — all pure), but applies reservations only to ifaces its own
+// partition owns. No cross-partition state is touched, so foreground
+// digests stay bit-identical across sequential, coupled, and parallel
+// placements with the background tier active.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/netsim/workload"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec configures the background-flow mix. Exactly one arrival source must
+// be set: FlowsPerSec (open-loop Poisson over the endpoint set) or Trace.
+type Spec struct {
+	// Pattern and Sizes draw each synthetic flow's destination and size,
+	// exactly as in the packet tier. Ignored under Trace.
+	Pattern workload.Pattern
+	Sizes   workload.SizeDist
+
+	// FlowsPerSec is the per-endpoint open-loop arrival rate; the engine
+	// draws from the aggregate Poisson process of rate n·FlowsPerSec
+	// (superposition), so arrival cost does not scale with endpoints.
+	FlowsPerSec float64
+
+	// Trace replays a recorded arrival schedule instead (same format the
+	// packet tier consumes), indices into the endpoint set.
+	Trace *workload.Trace
+
+	Seed uint64
+
+	// MTU is the payload bytes per packet the fluid model assumes when
+	// accounting per-packet wire overhead (default 1448, matching the
+	// packet tier).
+	MTU int
+	// FCTCap bounds the flow-completion-time reservoir (default 4096).
+	FCTCap int
+}
+
+func (s *Spec) defaults() {
+	if s.MTU == 0 {
+		s.MTU = 1448
+	}
+	if s.FCTCap == 0 {
+		s.FCTCap = 4096
+	}
+}
+
+// perPktOverhead is the per-packet wire overhead the packet tier pays:
+// Ethernet + IPv4 + UDP headers plus the 13-byte workload flow header.
+// The fluid model drains wire bytes, not goodput bytes, so flow-level and
+// packet-level completion times stay comparable.
+const perPktOverhead = proto.EthernetLen + proto.IPv4Len + proto.UDPLen + 13
+
+// rateInf stands in for "unconstrained" (a path with no finite-capacity
+// links): 10¹⁵ bit/s drains any flow in under a microsecond without
+// introducing float infinities into the arithmetic.
+const rateInf = 1e15
+
+// completeEps is the residual (in bits) below which a flow counts as
+// drained; it absorbs float rounding between the scheduled completion
+// time (ceiled to whole nanoseconds) and the advance arithmetic.
+const completeEps = 1e-3
+
+// Directed-link key packing: bits 0..31 index (topology link or host
+// slot), bit 32 access flag, bit 33 direction.
+const (
+	dirFwd  = 0 // A→B on a topology link; host→switch on an access link
+	dirRev  = 1 // B→A; switch→host
+	keyAcc  = 1 << 32
+	keyRev  = 1 << 33
+	maxHops = 64 // routing-loop guard on path walks
+)
+
+func topoLinkKey(li int32, dir int8) uint64 {
+	k := uint64(uint32(li))
+	if dir == dirRev {
+		k |= keyRev
+	}
+	return k
+}
+
+func accessKey(slot int32, dir int8) uint64 {
+	k := uint64(uint32(slot)) | keyAcc
+	if dir == dirRev {
+		k |= keyRev
+	}
+	return k
+}
+
+// hop is one step of a path walk: leaving a switch through iface idx
+// traverses topology link li to switch next.
+type hop struct {
+	li   int32
+	next int32
+	dir  int8
+}
+
+// blink is a directed link the fluid computation tracks: capacity, the
+// number of active flows crossing it, and — when this replica's partition
+// owns the transmitting iface — the handle reservations are applied to.
+type blink struct {
+	cap   float64       // bit/s
+	iface *netsim.Iface // nil unless owned by this replica's partition
+	resv  int64         // last reservation applied (bit/s)
+
+	nflows    int
+	activeIdx int // index in replica.active, -1 when idle
+
+	// progressive-filling scratch
+	avail   float64
+	unfixed int
+	sum     float64
+}
+
+// flow is one active background flow. links holds only finite-capacity
+// directed links on its path; remaining counts wire bits (payload plus
+// per-packet overhead) still to drain.
+type flow struct {
+	src, dst  int32 // endpoint indices
+	bytes     int64
+	remaining float64
+	rate      float64 // bit/s, assigned by recompute
+	share     float64 // recompute scratch
+	start     sim.Time
+	baseDelay sim.Time // propagation + switch pipeline + store-and-forward fill
+	hops      int32    // switches on the path
+	links     []*blink
+}
+
+// Engine drives one background mix over a built fabric: one replica per
+// partition, all computing the same trajectory.
+type Engine struct {
+	topo      *netsim.Topology
+	b         *netsim.Built
+	endpoints []int
+	spec      Spec
+
+	hops          map[uint64]hop // (switch, ifaceIdx) → traversal
+	switchLatency sim.Time
+	reps          []*replica
+}
+
+// replica is the per-partition copy of the fluid state. Every field
+// evolves identically across replicas; only iface pointers (and thus the
+// side effects of Reserve) differ.
+type replica struct {
+	eng   *Engine
+	net   *netsim.Network
+	part  int
+	nextH int
+
+	rng    *sim.Rand
+	seqs   []int32 // per-endpoint flow sequence numbers (Pattern input)
+	flows  []*flow // active flows in arrival order
+	links  map[uint64]*blink
+	active []*blink // links with ≥1 active flow, first-use order
+
+	lastAdvance sim.Time
+	nextArrival sim.Time // -1 when the arrival process is exhausted
+	nextWake    sim.Time // earliest outstanding posted wake, -1 if none
+	traceCur    int
+
+	started, completed, skipped, unroutable int
+	bytesModeled                            int64
+	events                                  uint64
+	pktEvProj                               uint64
+	fct                                     *stats.Latency
+}
+
+// Install sets up the background tier over b for the given endpoint set
+// (host slot indices — lazy slots are fine and are never materialized).
+// Call it after netsim.Build and before the run starts; registration
+// order matters for determinism, like everything else.
+func Install(b *netsim.Built, endpoints []int, spec Spec) *Engine {
+	spec.defaults()
+	if len(endpoints) < 2 {
+		panic("flowsim: need at least two endpoints")
+	}
+	if spec.Trace != nil {
+		if spec.FlowsPerSec != 0 {
+			panic("flowsim: set FlowsPerSec or Trace, not both")
+		}
+		if err := spec.Trace.Validate(len(endpoints)); err != nil {
+			panic(err)
+		}
+	} else {
+		if spec.FlowsPerSec <= 0 {
+			panic("flowsim: FlowsPerSec must be positive (or provide a Trace)")
+		}
+		if spec.Pattern == nil || spec.Sizes == nil {
+			panic("flowsim: synthetic arrivals need Pattern and Sizes")
+		}
+	}
+	topo := b.Topo()
+	if topo == nil {
+		panic("flowsim: built fabric carries no topology")
+	}
+	eng := &Engine{
+		topo:          topo,
+		b:             b,
+		endpoints:     endpoints,
+		spec:          spec,
+		switchLatency: b.Parts[0].SwitchLatency,
+		hops:          make(map[uint64]hop, 2*len(topo.Links)),
+	}
+	for li := range topo.Links {
+		l := &topo.Links[li]
+		eng.hops[hopKey(int32(l.A), b.LinkIfaces[li][0])] = hop{li: int32(li), next: int32(l.B), dir: dirFwd}
+		eng.hops[hopKey(int32(l.B), b.LinkIfaces[li][1])] = hop{li: int32(li), next: int32(l.A), dir: dirRev}
+	}
+	for p, net := range b.Parts {
+		r := &replica{
+			eng:         eng,
+			net:         net,
+			part:        p,
+			rng:         sim.NewRand(spec.Seed ^ 0x9e3779b97f4a7c15),
+			seqs:        make([]int32, len(endpoints)),
+			links:       make(map[uint64]*blink),
+			nextArrival: -1,
+			nextWake:    -1,
+			fct:         stats.NewReservoir(spec.FCTCap, spec.Seed^0xc3c3c3c3c3c3c3c3),
+		}
+		r.nextH = net.RegisterNamed(fmt.Sprintf("flowsim/%d/next", spec.Seed), r.fire)
+		net.OnStart(func() {
+			now := r.net.Env().Now()
+			r.lastAdvance = now
+			r.scheduleArrival(now)
+			r.scheduleWake(now)
+		})
+		eng.reps = append(eng.reps, r)
+	}
+	return eng
+}
+
+// InstallSpec dispatches a workload.Spec by fidelity: FidelityFlow specs
+// install here, translated field-for-field. (FidelityPacket specs go
+// through workload.Install, which materializes hosts; the point of this
+// entry is that flow specs never do.)
+func InstallSpec(b *netsim.Built, endpoints []int, ws workload.Spec) *Engine {
+	if ws.Fidelity != workload.FidelityFlow {
+		panic("flowsim: InstallSpec is for FidelityFlow specs; use workload.Install for packet-level")
+	}
+	fs := Spec{
+		Pattern: ws.Pattern,
+		Sizes:   ws.Sizes,
+		Seed:    ws.Seed,
+		MTU:     ws.MTU,
+		FCTCap:  ws.FCTCap,
+	}
+	switch a := ws.Arrival.(type) {
+	case workload.Open:
+		fs.FlowsPerSec = a.FlowsPerSec
+	case *workload.Trace:
+		fs.Trace = a
+	case workload.Closed:
+		panic("flowsim: the flow tier is open-loop; Closed arrivals need the packet tier")
+	default:
+		panic("flowsim: spec needs an Open or Trace arrival")
+	}
+	return Install(b, endpoints, fs)
+}
+
+func hopKey(sw, iface int32) uint64 { return uint64(uint32(sw))<<32 | uint64(uint32(iface)) }
+
+// wireBits is the on-the-wire size of a flow in bits: payload plus
+// per-packet overhead at the configured MTU.
+func (e *Engine) wireBits(bytes int64) float64 {
+	pkts := (bytes + int64(e.spec.MTU) - 1) / int64(e.spec.MTU)
+	return float64(bytes+pkts*perPktOverhead) * 8
+}
+
+// lastPktWire is the wire size of a flow's final packet, used for the
+// store-and-forward pipeline-fill term of the base delay.
+func (e *Engine) lastPktWire(bytes int64) int {
+	mtu := int64(e.spec.MTU)
+	pkts := (bytes + mtu - 1) / mtu
+	last := bytes - (pkts-1)*mtu
+	return int(last) + perPktOverhead
+}
+
+// topoIface returns the transmitting iface of a directed topology link if
+// this replica's partition owns it, else nil. At partition boundaries the
+// iface is the external port's, which still lives on the owning switch.
+func (r *replica) topoIface(li int32, dir int8) *netsim.Iface {
+	l := &r.eng.topo.Links[li]
+	sw, idx := l.A, r.eng.b.LinkIfaces[li][0]
+	if dir == dirRev {
+		sw, idx = l.B, r.eng.b.LinkIfaces[li][1]
+	}
+	if r.eng.b.SwitchPart[sw] != r.part || idx < 0 {
+		return nil
+	}
+	return r.eng.b.Switches[sw].Ifaces()[idx]
+}
+
+// accessIface returns the transmitting iface of a host access link in the
+// given direction if this partition owns it. Lazy slots that were never
+// materialized have no ifaces — no foreground traffic crosses them, so
+// there is nothing to throttle and nil is correct, not a loss. (A slot
+// materialized after a blink was first cached keeps a nil iface; install
+// foreground workloads before the background mix touches their slots.)
+func (r *replica) accessIface(slot int32, dir int8) *netsim.Iface {
+	b := r.eng.b
+	th := &r.eng.topo.Hosts[slot]
+	if dir == dirFwd { // host → switch: host-side transmitter
+		if h := b.Hosts[slot]; h != nil && b.HostPart[slot] == r.part {
+			return h.Iface()
+		}
+		return nil // external or unmaterialized: transmitter not in this network
+	}
+	// switch → host: switch-side transmitter
+	if b.SwitchPart[th.Switch] != r.part {
+		return nil
+	}
+	if th.External {
+		if p := b.Exts[int(slot)]; p != nil {
+			return p.Iface()
+		}
+		return nil
+	}
+	if h := b.Hosts[slot]; h != nil && h.Iface() != nil {
+		return h.Iface().Peer()
+	}
+	return nil
+}
+
+// link returns the replica's blink for a directed link, creating it on
+// first use.
+func (r *replica) link(key uint64, cap int64, ifc func() *netsim.Iface) *blink {
+	if bl, ok := r.links[key]; ok {
+		return bl
+	}
+	bl := &blink{cap: float64(cap), iface: ifc(), activeIdx: -1}
+	r.links[key] = bl
+	return bl
+}
+
+// resolve walks the flow's path hop-for-hop with the same Switch.Route
+// lookups the packet tier uses (so ECMP choices — and therefore which
+// links carry the load — match exactly), collecting finite-capacity links
+// and accumulating the rate-independent base delay: propagation, switch
+// pipeline latency, and the store-and-forward fill of the last packet
+// across every link after the first.
+func (r *replica) resolve(f *flow) bool {
+	eng := r.eng
+	srcSlot := int32(eng.endpoints[f.src])
+	dstSlot := int32(eng.endpoints[f.dst])
+	srcTH := &eng.topo.Hosts[srcSlot]
+	dstTH := &eng.topo.Hosts[dstSlot]
+
+	lastWire := eng.lastPktWire(f.bytes)
+	delay := srcTH.Delay + dstTH.Delay
+	var fill sim.Time
+
+	if srcTH.Rate > 0 {
+		f.links = append(f.links, r.link(accessKey(srcSlot, dirFwd), srcTH.Rate,
+			func() *netsim.Iface { return r.accessIface(srcSlot, dirFwd) }))
+	}
+	cur := srcTH.Switch
+	nsw := int32(1)
+	for cur != dstTH.Switch {
+		out, ok := eng.b.Switches[cur].Route(dstTH.IP)
+		if !ok {
+			return false
+		}
+		hp, ok := eng.hops[hopKey(int32(cur), int32(out))]
+		if !ok {
+			return false // routed into an attachment port, not the fabric
+		}
+		l := &eng.topo.Links[hp.li]
+		if l.Rate > 0 {
+			li, dir := hp.li, hp.dir
+			f.links = append(f.links, r.link(topoLinkKey(li, dir), l.Rate,
+				func() *netsim.Iface { return r.topoIface(li, dir) }))
+			fill += sim.TransmitTime(lastWire, l.Rate)
+		}
+		delay += l.Delay
+		cur = int(hp.next)
+		if nsw++; nsw > maxHops {
+			return false
+		}
+	}
+	if dstTH.Rate > 0 {
+		f.links = append(f.links, r.link(accessKey(dstSlot, dirRev), dstTH.Rate,
+			func() *netsim.Iface { return r.accessIface(dstSlot, dirRev) }))
+		fill += sim.TransmitTime(lastWire, dstTH.Rate)
+	}
+	f.hops = nsw
+	f.baseDelay = delay + sim.Time(nsw)*eng.switchLatency + fill
+	return true
+}
+
+// fire is the single named-event handler: advance the fluid state to now,
+// admit due arrivals, retire drained flows, recompute rates if membership
+// changed, and schedule the next wake. Superseded wakes fire harmlessly —
+// every step is idempotent at a given virtual time.
+func (r *replica) fire(sim.NamedArgs) {
+	now := r.net.Env().Now()
+	r.events++
+	r.net.NoteFlowEvents(1)
+	if r.nextWake == now {
+		r.nextWake = -1
+	}
+	r.advanceTo(now)
+	changed := false
+	for r.nextArrival >= 0 && r.nextArrival <= now {
+		if r.startFlow(now) {
+			changed = true
+		}
+		r.scheduleArrival(now)
+	}
+	if r.completeDue(now) {
+		changed = true
+	}
+	if changed {
+		r.recompute()
+		r.applyReservations()
+	}
+	r.scheduleWake(now)
+}
+
+// advanceTo drains every active flow at its current rate over the elapsed
+// virtual time.
+func (r *replica) advanceTo(now sim.Time) {
+	dt := now - r.lastAdvance
+	if dt <= 0 {
+		return
+	}
+	sec := float64(dt) / float64(sim.Second)
+	for _, f := range r.flows {
+		f.remaining -= f.rate * sec
+	}
+	r.lastAdvance = now
+}
+
+// startFlow admits the next arrival (trace tuple or synthetic draw).
+// Returns false when the draw is a no-op (pattern returned -1 or self,
+// or the path is unroutable) — counted, never fatal.
+func (r *replica) startFlow(now sim.Time) bool {
+	n := len(r.eng.endpoints)
+	var src, dst int
+	var bytes int64
+	if tr := r.eng.spec.Trace; tr != nil {
+		tf := tr.Flows[r.traceCur]
+		r.traceCur++
+		src, dst, bytes = tf.Src, tf.Dst, tf.Bytes
+	} else {
+		src = r.rng.Intn(n)
+		seq := int(r.seqs[src])
+		r.seqs[src]++
+		dst = r.eng.spec.Pattern.Dst(r.rng, src, seq, n)
+		if dst < 0 || dst == src {
+			r.skipped++
+			return false
+		}
+		bytes = int64(r.eng.spec.Sizes.Sample(r.rng))
+		if bytes < 1 {
+			bytes = 1
+		}
+	}
+	f := &flow{
+		src:       int32(src),
+		dst:       int32(dst),
+		bytes:     bytes,
+		remaining: r.eng.wireBits(bytes),
+		start:     now,
+	}
+	if !r.resolve(f) {
+		r.unroutable++
+		return false
+	}
+	r.flows = append(r.flows, f)
+	for _, bl := range f.links {
+		bl.nflows++
+		if bl.activeIdx < 0 {
+			bl.activeIdx = len(r.active)
+			r.active = append(r.active, bl)
+		}
+	}
+	r.started++
+	return true
+}
+
+// projEvents is what the packet tier would have scheduled to move
+// drainedBits of this flow: per packet, one departure and one delivery
+// event on each of the path's hops+1 links. Acks and retransmissions are
+// ignored, so the projection undercounts — any speedup claim it supports
+// is conservative. Counting drained bits (not flow size) keeps the
+// projection honest for long flows still active at the horizon: only
+// traffic the fluid model actually moved is credited.
+func projEvents(f *flow, drainedBits float64, mtu int) uint64 {
+	pkts := uint64(drainedBits / 8 / float64(mtu+perPktOverhead))
+	return pkts * 2 * uint64(f.hops+1)
+}
+
+// completeDue retires every flow whose wire bits have drained, recording
+// its completion time (drain span plus the path's base delay). Compaction
+// preserves arrival order so float accumulation stays replica-identical.
+func (r *replica) completeDue(now sim.Time) bool {
+	w := 0
+	done := false
+	for _, f := range r.flows {
+		if f.remaining > completeEps {
+			r.flows[w] = f
+			w++
+			continue
+		}
+		done = true
+		r.completed++
+		r.bytesModeled += f.bytes
+		r.pktEvProj += projEvents(f, r.eng.wireBits(f.bytes), r.eng.spec.MTU)
+		r.fct.Add(now - f.start + f.baseDelay)
+		for _, bl := range f.links {
+			bl.nflows--
+		}
+	}
+	if done {
+		for i := w; i < len(r.flows); i++ {
+			r.flows[i] = nil
+		}
+		r.flows = r.flows[:w]
+	}
+	return done
+}
+
+// recompute assigns every active flow its max-min fair rate by
+// progressive filling, flow-side: each round computes each unfixed flow's
+// minimum per-link fair share, fixes the flows achieving the global
+// minimum (they traverse the bottleneck), subtracts, and repeats. No
+// link→flow lists are materialized; cost is O(rounds × flows × hops)
+// with rounds bounded by the number of distinct bottlenecks.
+func (r *replica) recompute() {
+	const maxRounds = 100
+	for _, bl := range r.active {
+		bl.avail = bl.cap
+		bl.unfixed = bl.nflows
+	}
+	unfixed := 0
+	for _, f := range r.flows {
+		if len(f.links) == 0 {
+			f.rate = rateInf
+		} else {
+			f.rate = -1
+			unfixed++
+		}
+	}
+	for round := 0; unfixed > 0; round++ {
+		minShare := math.Inf(1)
+		for _, f := range r.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			s := math.Inf(1)
+			for _, bl := range f.links {
+				if bl.unfixed <= 0 {
+					continue
+				}
+				if sh := bl.avail / float64(bl.unfixed); sh < s {
+					s = sh
+				}
+			}
+			if s < 0 {
+				s = 0
+			}
+			f.share = s
+			if s < minShare {
+				minShare = s
+			}
+		}
+		// Past the round bound (degenerate all-distinct-bottleneck mixes)
+		// fix everything at its current share: approximate but
+		// deterministic, and oversubscription is absorbed by effRate's
+		// capacity floor on the packet side.
+		last := round == maxRounds-1
+		for _, f := range r.flows {
+			if f.rate >= 0 || (!last && f.share > minShare) {
+				continue
+			}
+			f.rate = f.share
+			for _, bl := range f.links {
+				bl.avail -= f.share
+				bl.unfixed--
+			}
+			unfixed--
+		}
+	}
+}
+
+// applyReservations pushes each link's aggregate background rate to its
+// iface — only on links this partition owns, and only when the value
+// changed — then drops idle links from the active list (order-preserving,
+// with their reservation cleared by the zero sum).
+func (r *replica) applyReservations() {
+	for _, bl := range r.active {
+		bl.sum = 0
+	}
+	for _, f := range r.flows {
+		for _, bl := range f.links {
+			bl.sum += f.rate
+		}
+	}
+	w := 0
+	for _, bl := range r.active {
+		resv := int64(bl.sum)
+		if resv != bl.resv {
+			bl.resv = resv
+			if bl.iface != nil {
+				bl.iface.Reserve(resv)
+			}
+		}
+		if bl.nflows == 0 {
+			bl.activeIdx = -1
+			continue
+		}
+		bl.activeIdx = w
+		r.active[w] = bl
+		w++
+	}
+	r.active = r.active[:w]
+}
+
+// scheduleArrival draws the next arrival time: the trace cursor's tuple,
+// or an exponential gap from the aggregate Poisson process.
+func (r *replica) scheduleArrival(now sim.Time) {
+	if tr := r.eng.spec.Trace; tr != nil {
+		if r.traceCur >= len(tr.Flows) {
+			r.nextArrival = -1
+			return
+		}
+		r.nextArrival = tr.Flows[r.traceCur].Start
+		return
+	}
+	mean := float64(sim.Second) / (r.eng.spec.FlowsPerSec * float64(len(r.eng.endpoints)))
+	r.nextArrival = now + sim.Time(r.rng.Exp(mean))
+}
+
+// scheduleWake posts the named wake at the earliest pending moment (next
+// arrival or earliest completion) unless an earlier wake is already
+// outstanding. Later outstanding wakes are left to fire stale — fire is
+// idempotent — because the scheduler has no cancel.
+func (r *replica) scheduleWake(now sim.Time) {
+	t := r.nextArrival
+	for _, f := range r.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		dt := sim.Time(math.Ceil(f.remaining / f.rate * float64(sim.Second)))
+		if dt < 1 {
+			dt = 1
+		}
+		if c := now + dt; t < 0 || c < t {
+			t = c
+		}
+	}
+	if t < 0 {
+		return
+	}
+	if r.nextWake >= 0 && r.nextWake <= t {
+		return
+	}
+	r.net.PostNamed(t, r.nextH, sim.NamedArgs{})
+	r.nextWake = t
+}
+
+// Report summarizes the background tier (replica 0's view — all replicas
+// agree by construction).
+type Report struct {
+	FlowsStarted   int
+	FlowsCompleted int
+	ActiveFlows    int
+	// Skipped counts synthetic draws the pattern declined (-1 or self);
+	// Unroutable counts flows whose path walk failed.
+	Skipped    int
+	Unroutable int
+	// BytesModeled is payload bytes of completed flows.
+	BytesModeled int64
+	// Events is the number of scheduler events one replica consumed.
+	Events uint64
+	// ProjPacketEvents is what the packet tier would have scheduled to
+	// move the traffic the fluid model drained — completed flows in full,
+	// active flows pro-rata (conservative undercount; see projEvents).
+	ProjPacketEvents uint64
+	FCT              *stats.Latency
+}
+
+// Collect returns the tier's report. Call it after the run: active flows'
+// drained traffic is projected forward to the run horizon (advance is
+// lazy — state only moves at events — so flows still active at the end
+// have provably drained rate×span beyond their last event).
+func (e *Engine) Collect() Report {
+	r := e.reps[0]
+	proj := r.pktEvProj
+	var sec float64
+	if dt := r.net.End() - r.lastAdvance; dt > 0 {
+		sec = float64(dt) / float64(sim.Second)
+	}
+	for _, f := range r.flows {
+		rem := f.remaining - f.rate*sec
+		if rem < 0 {
+			rem = 0
+		}
+		proj += projEvents(f, e.wireBits(f.bytes)-rem, e.spec.MTU)
+	}
+	return Report{
+		FlowsStarted:     r.started,
+		FlowsCompleted:   r.completed,
+		ActiveFlows:      len(r.flows),
+		Skipped:          r.skipped,
+		Unroutable:       r.unroutable,
+		BytesModeled:     r.bytesModeled,
+		Events:           r.events,
+		ProjPacketEvents: proj,
+		FCT:              r.fct,
+	}
+}
+
+func (rp Report) String() string {
+	return fmt.Sprintf("flows=%d/%d active=%d bytes=%d events=%d projPktEvents=%d",
+		rp.FlowsCompleted, rp.FlowsStarted, rp.ActiveFlows, rp.BytesModeled, rp.Events, rp.ProjPacketEvents)
+}

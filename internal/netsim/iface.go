@@ -21,6 +21,14 @@ type Iface struct {
 
 	busyUntil sim.Time
 
+	// bgRate is the bandwidth currently reserved by the flow-level
+	// background tier (flowsim) on this interface; bgDelay is the queueing
+	// delay its standing backlog imposes on packet-tier traffic entering
+	// here. Both change only at background rate-recompute events, via
+	// Reserve, so the packet tier stays deterministic between them.
+	bgRate  int64
+	bgDelay sim.Time
+
 	// QueueCapBytes bounds the output queue; beyond it packets drop.
 	// Zero means unbounded.
 	QueueCapBytes int
@@ -86,14 +94,67 @@ func (i *Iface) Delay() sim.Time { return i.delay }
 // Peer returns the other side's interface, nil for external ports.
 func (i *Iface) Peer() *Iface { return i.peer }
 
-// backlogBytes returns the queue occupancy implied by busyUntil.
+// backlogBytes returns the queue occupancy implied by busyUntil, at the
+// rate the queue is actually drained (the effective rate under background
+// reservation).
 func (i *Iface) backlogBytes(now sim.Time) int {
 	if i.busyUntil <= now || i.rate <= 0 {
 		return 0
 	}
-	bits := float64(i.busyUntil-now) * float64(i.rate) / float64(sim.Second)
+	bits := float64(i.busyUntil-now) * float64(i.effRate()) / float64(sim.Second)
 	return int(bits / 8)
 }
+
+// bgMinShareDiv floors the effective foreground rate at rate/bgMinShareDiv:
+// however loaded the background tier is, packet-level traffic keeps at
+// least 1/16 of the link (matching the bgMaxRho delay clamp below), so
+// foreground flows degrade instead of starving.
+const bgMinShareDiv = 16
+
+// bgMaxRho caps the background utilization used in the queueing-delay
+// model at 15/16, where the M/M/1-style ρ/(1−ρ) term reaches 15 MTU
+// serialization times — beyond that the fluid model's "steady backlog"
+// assumption is doing all the work anyway.
+const bgMaxRho = float64(bgMinShareDiv-1) / float64(bgMinShareDiv)
+
+// effRate is the serialization rate the packet tier sees: the configured
+// rate minus the background reservation, floored at rate/bgMinShareDiv.
+func (i *Iface) effRate() int64 {
+	if i.bgRate <= 0 || i.rate <= 0 {
+		return i.rate
+	}
+	eff := i.rate - i.bgRate
+	if min := i.rate / bgMinShareDiv; eff < min {
+		eff = min
+	}
+	return eff
+}
+
+// Reserve sets the bandwidth the flow-level background tier currently
+// consumes on this interface. Packet-tier transmissions serialize at the
+// residual rate and see an extra queueing delay modeling the background
+// backlog (ρ/(1−ρ) MTU times, ρ capped at bgMaxRho). Reserve is called
+// only at background rate-recompute events; between two such events the
+// packet tier's timing is a pure function of its own traffic, which is
+// what keeps foreground runs deterministic and placement-bit-identical.
+func (i *Iface) Reserve(rate int64) {
+	if rate < 0 {
+		rate = 0
+	}
+	i.bgRate = rate
+	i.bgDelay = 0
+	if rate > 0 && i.rate > 0 {
+		rho := float64(rate) / float64(i.rate)
+		if rho > bgMaxRho {
+			rho = bgMaxRho
+		}
+		mtuT := float64(sim.TransmitTime(1500, i.rate))
+		i.bgDelay = sim.Time(mtuT * rho / (1 - rho))
+	}
+}
+
+// Reserved returns the background tier's current reservation.
+func (i *Iface) Reserved() int64 { return i.bgRate }
 
 // REDParams configures Random Early Detection on an interface. The
 // averaging is instantaneous (gentle-RED variants differ only in shape for
@@ -133,12 +194,13 @@ func (i *Iface) redDecide(backlog int, ect bool) redVerdict {
 	}
 }
 
-// QueueDelay returns the current queueing delay on this interface.
+// QueueDelay returns the current queueing delay on this interface,
+// including the background tier's standing-backlog contribution.
 func (i *Iface) QueueDelay(now sim.Time) sim.Time {
 	if i.busyUntil <= now {
-		return 0
+		return i.bgDelay
 	}
-	return i.busyUntil - now
+	return i.busyUntil - now + i.bgDelay
 }
 
 // Enqueue places f on the output queue. It returns the departure time
@@ -174,11 +236,11 @@ func (i *Iface) Enqueue(f *proto.Frame) sim.Time {
 	if i.Tap != nil {
 		i.Tap(now, f)
 	}
-	start := now
+	start := now + i.bgDelay
 	if i.busyUntil > start {
 		start = i.busyUntil
 	}
-	depart := start + sim.TransmitTime(size, i.rate)
+	depart := start + sim.TransmitTime(size, i.effRate())
 	i.busyUntil = depart
 	i.TxPackets++
 	i.TxBytes += uint64(size)

@@ -33,6 +33,11 @@ const (
 	// CostPerBoundaryPacketNs is the extra cost of serializing a packet
 	// onto a SplitSim channel at a partition boundary.
 	CostPerBoundaryPacketNs = 150
+	// CostPerFlowEventNs is charged for each flow-level (background tier)
+	// scheduler event attributed to this partition — a whole rate
+	// recompute, not a packet, hence pricier than one switch hop but
+	// amortized over every modeled flow.
+	CostPerFlowEventNs = 400
 )
 
 // DefaultSwitchLatency is the fixed forwarding pipeline delay of a switch.
@@ -70,6 +75,16 @@ type Network struct {
 	// boundaries; the lazy Cost() recomputation charges them at
 	// CostPerBoundaryPacketNs each.
 	encRx, encTx uint64
+
+	// flowEvents counts flow-level background-tier events attributed to
+	// this partition (see flowsim); charged at CostPerFlowEventNs.
+	flowEvents uint64
+
+	// startHooks run at Start, after host applications — the attachment
+	// point for non-host engines (the flow-level background tier) that must
+	// seed their first event when the simulation begins. Restored runs skip
+	// them: their scheduled work rides in the checkpoint's event section.
+	startHooks []func()
 
 	// SwitchLatency is the per-switch pipeline delay applied to every
 	// forwarded packet.
@@ -123,7 +138,19 @@ func (n *Network) Start(end sim.Time) {
 			h.app.Start(h)
 		}
 	}
+	for _, fn := range n.startHooks {
+		fn()
+	}
 }
+
+// OnStart registers fn to run when the network starts, after host
+// applications. Hooks run in registration order (deterministic for an
+// identical build) and are skipped on StartRestored.
+func (n *Network) OnStart(fn func()) { n.startHooks = append(n.startHooks, fn) }
+
+// NoteFlowEvents attributes k flow-level background-tier events to this
+// partition's cost account.
+func (n *Network) NoteFlowEvents(k uint64) { n.flowEvents += k }
 
 // End returns the simulation end time (valid after Start).
 func (n *Network) End() sim.Time { return n.end }
@@ -145,6 +172,7 @@ func (n *Network) Cost() *core.CostAccount {
 		total += (h.TxPackets + h.RxPackets) * CostPerHostPacketNs
 	}
 	total += (n.encRx + n.encTx) * CostPerBoundaryPacketNs
+	total += n.flowEvents * CostPerFlowEventNs
 	n.cost.Store(total)
 	return &n.cost
 }

@@ -104,6 +104,8 @@ func snapshotIface(e *snap.Encoder, i *Iface) {
 	e.U64(i.TxBytes)
 	e.U64(i.Drops)
 	e.U64(i.Marks)
+	e.I64(i.bgRate)
+	e.I64(int64(i.bgDelay))
 }
 
 func restoreIface(d *snap.Decoder, i *Iface) {
@@ -112,6 +114,8 @@ func restoreIface(d *snap.Decoder, i *Iface) {
 	i.TxBytes = d.U64()
 	i.Drops = d.U64()
 	i.Marks = d.U64()
+	i.bgRate = d.I64()
+	i.bgDelay = sim.Time(d.I64())
 }
 
 // sortedTCPKeys returns the host's connection keys in a deterministic
@@ -138,6 +142,7 @@ func (n *Network) SnapshotState(e *snap.Encoder) error {
 	e.U64(n.rng.State())
 	e.U64(n.encRx)
 	e.U64(n.encTx)
+	e.U64(n.flowEvents)
 	e.U32(uint32(len(n.hosts)))
 	for _, h := range n.hosts {
 		e.U64(uint64(h.ip)) // identity check on restore
@@ -179,6 +184,7 @@ func (n *Network) RestoreState(d *snap.Decoder) error {
 	n.rng.SetState(d.U64())
 	n.encRx = d.U64()
 	n.encTx = d.U64()
+	n.flowEvents = d.U64()
 	if got := int(d.U32()); got != len(n.hosts) {
 		return fmt.Errorf("%w: %s: snapshot has %d hosts, build has %d",
 			core.ErrNotCheckpointable, n.name, got, len(n.hosts))

@@ -111,6 +111,40 @@ func (t *Topology) AddAggregate(p proto.Prefix, switches []int, scope []int) int
 // routes instead of global per-IP routes.
 func (t *Topology) Hierarchical() bool { return len(t.Prefixes) > 0 }
 
+// aggIndex answers "does any aggregate contain ip" in O(distinct prefix
+// lengths): one masked-address set per length. The per-host coverage check
+// used to scan the whole prefix list per host — at 10⁶ lazy slots over
+// ~10³ aggregates that linear scan dominated the hierarchical build.
+type aggIndex struct {
+	lens  []uint8
+	byLen map[uint8]map[proto.IP]struct{}
+}
+
+// aggregateIndex builds the coverage index over the declared prefixes.
+func (t *Topology) aggregateIndex() *aggIndex {
+	ix := &aggIndex{byLen: make(map[uint8]map[proto.IP]struct{})}
+	for _, p := range t.Prefixes {
+		m := ix.byLen[p.Prefix.Bits]
+		if m == nil {
+			m = make(map[proto.IP]struct{})
+			ix.byLen[p.Prefix.Bits] = m
+			ix.lens = append(ix.lens, p.Prefix.Bits)
+		}
+		m[p.Prefix.Addr.Masked(p.Prefix.Bits)] = struct{}{}
+	}
+	return ix
+}
+
+// covers reports whether any aggregate contains ip.
+func (ix *aggIndex) covers(ip proto.IP) bool {
+	for _, bits := range ix.lens {
+		if _, ok := ix.byLen[bits][ip.Masked(bits)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // MakeExternal converts host slot i into a detailed-host attachment point.
 func (t *Topology) MakeExternal(i int) {
 	if t.Hosts[i].Lazy {
@@ -148,10 +182,25 @@ type Built struct {
 	// Boundaries lists cross-partition links to be wired by decomp.
 	Boundaries []Boundary
 
+	// LinkIfaces maps each topology link to its transmitter interface
+	// indices: LinkIfaces[li][0] is the iface index on switch Links[li].A,
+	// [1] the index on Links[li].B. At partition boundaries these are the
+	// external-port ifaces. It lets a path resolver walk Switch.Route
+	// results across the whole link graph without chasing peer pointers
+	// (which are nil at boundaries) — the flow-level tier depends on it.
+	LinkIfaces [][2]int32
+
 	// topo is the topology this Built instantiates; MaterializeSlot reads
 	// lazy slots' parameters from it.
 	topo *Topology
+
+	// aggs indexes the aggregate prefixes by length so per-host coverage
+	// checks are O(distinct lengths), not O(prefixes); nil in flat mode.
+	aggs *aggIndex
 }
+
+// Topo returns the topology this Built instantiates.
+func (b *Built) Topo() *Topology { return b.topo }
 
 // MaterializeSlot instantiates lazy host slot i on first use: the host, its
 // access link, and the direct route on the owning switch (remote
@@ -167,17 +216,8 @@ func (b *Built) MaterializeSlot(i int) *Host {
 	if !th.Lazy {
 		panic(fmt.Sprintf("netsim: slot %d (%s) is not a lazy host", i, th.Name))
 	}
-	if b.topo.Hierarchical() {
-		covered := false
-		for _, p := range b.topo.Prefixes {
-			if p.Prefix.Contains(th.IP) {
-				covered = true
-				break
-			}
-		}
-		if !covered {
-			panic(fmt.Sprintf("netsim: lazy host %s (%v) is not covered by any aggregate", th.Name, th.IP))
-		}
+	if b.topo.Hierarchical() && !b.aggs.covers(th.IP) {
+		panic(fmt.Sprintf("netsim: lazy host %s (%v) is not covered by any aggregate", th.Name, th.IP))
 	}
 	net := b.Parts[b.HostPart[i]]
 	sw := b.Switches[th.Switch]
@@ -252,22 +292,21 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 		b.Hosts[i] = h
 	}
 
-	// linkIface[li] = (iface idx on A, iface idx on B).
-	type pair struct{ a, b int }
-	linkIface := make([]pair, len(t.Links))
+	b.LinkIfaces = make([][2]int32, len(t.Links))
 	for li, l := range t.Links {
 		pa, pb := assign[l.A], assign[l.B]
 		sa, sb := b.Switches[l.A], b.Switches[l.B]
 		if pa == pb {
 			ai, bi := b.Parts[pa].ConnectSwitches(sa, sb, l.Rate, l.Delay)
-			linkIface[li] = pair{ai, bi}
+			b.LinkIfaces[li] = [2]int32{int32(ai), int32(bi)}
 			continue
 		}
 		ea := b.Parts[pa].AddExternal(sa, fmt.Sprintf("x%d.a", li), l.Rate)
 		eb := b.Parts[pb].AddExternal(sb, fmt.Sprintf("x%d.b", li), l.Rate)
 		ea.SetEncode(true)
 		eb.SetEncode(true)
-		linkIface[li] = pair{switchIfaceIndex(sa, ea.iface), switchIfaceIndex(sb, eb.iface)}
+		b.LinkIfaces[li] = [2]int32{
+			int32(switchIfaceIndex(sa, ea.iface)), int32(switchIfaceIndex(sb, eb.iface))}
 		b.Boundaries = append(b.Boundaries, Boundary{Link: li, PartA: pa, PartB: pb, PortA: ea, PortB: eb})
 	}
 
@@ -280,11 +319,12 @@ func (t *Topology) Build(name string, seed uint64, assign []int, namer func(part
 		for _, p := range b.Parts {
 			p.prefixRouted = true
 		}
+		b.aggs = t.aggregateIndex()
 	}
 
 	t.installGlobalRoutes(b, hostIface, func(li int) (int, int) {
-		p := linkIface[li]
-		return p.a, p.b
+		p := b.LinkIfaces[li]
+		return int(p[0]), int(p[1])
 	})
 	return b
 }
@@ -312,6 +352,13 @@ type topoBFS struct {
 	dist  []int
 	queue []int
 	cands []int
+	// seen[v] == epoch marks dist[v] as valid for the current search.
+	// Stamping replaces the old full dist clear per search — a scoped
+	// search that pops a handful of switches no longer pays O(switches)
+	// to reset, which is what made per-leaf aggregates affordable on
+	// 10⁶-endpoint fabrics.
+	seen  []uint32
+	epoch uint32
 }
 
 type topoEdge struct {
@@ -324,14 +371,19 @@ type topoEdge struct {
 // switches have been popped — by then every popped switch's shortest-path
 // predecessors have final distances, which is all candidates() reads.
 func (s *topoBFS) run(seeds []int, need []bool, needCount int) {
-	for i := range s.dist {
-		s.dist[i] = -1
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap: clear once per 2³² searches
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.epoch = 1
 	}
 	s.queue = s.queue[:0]
 	for _, sd := range seeds {
-		if s.dist[sd] == 0 {
+		if s.seen[sd] == s.epoch {
 			continue // duplicate seed
 		}
+		s.seen[sd] = s.epoch
 		s.dist[sd] = 0
 		s.queue = append(s.queue, sd)
 	}
@@ -344,12 +396,22 @@ func (s *topoBFS) run(seeds []int, need []bool, needCount int) {
 			}
 		}
 		for _, e := range s.adj[u] {
-			if s.dist[e.nb] < 0 {
+			if s.seen[e.nb] != s.epoch {
+				s.seen[e.nb] = s.epoch
 				s.dist[e.nb] = s.dist[u] + 1
 				s.queue = append(s.queue, e.nb)
 			}
 		}
 	}
+}
+
+// distOf returns the last run's distance of v from the seed set, or -1
+// when the search never reached v.
+func (s *topoBFS) distOf(v int) int {
+	if s.seen[v] != s.epoch {
+		return -1
+	}
+	return s.dist[v]
 }
 
 // candidates returns the ifaces on v that start a shortest path toward the
@@ -358,7 +420,7 @@ func (s *topoBFS) run(seeds []int, need []bool, needCount int) {
 func (s *topoBFS) candidates(v int) []int {
 	s.cands = s.cands[:0]
 	for _, e := range s.adj[v] {
-		if s.dist[e.nb] == s.dist[v]-1 {
+		if s.seen[e.nb] == s.epoch && s.dist[e.nb] == s.dist[v]-1 {
 			s.cands = append(s.cands, e.iface)
 		}
 	}
@@ -387,6 +449,7 @@ func (t *Topology) installGlobalRoutes(b *Built, hostIface []int, linkIfaces fun
 	bfs := &topoBFS{
 		adj:  make([][]topoEdge, ns),
 		dist: make([]int, ns),
+		seen: make([]uint32, ns),
 	}
 	for li, l := range t.Links {
 		ai, bi := linkIfaces(li)
@@ -403,14 +466,7 @@ func (t *Topology) installGlobalRoutes(b *Built, hostIface []int, linkIfaces fun
 	// get theirs at MaterializeSlot), with a loud coverage check: a host
 	// address no aggregate contains would be silently unreachable remotely.
 	for hi, th := range t.Hosts {
-		covered := false
-		for _, p := range t.Prefixes {
-			if p.Prefix.Contains(th.IP) {
-				covered = true
-				break
-			}
-		}
-		if !covered {
+		if !b.aggs.covers(th.IP) {
 			panic(fmt.Sprintf("netsim: hierarchical build: host %s (%v) is not covered by any aggregate",
 				th.Name, th.IP))
 		}
@@ -443,7 +499,7 @@ func (t *Topology) installGlobalRoutes(b *Built, hostIface []int, linkIfaces fun
 		}
 
 		install := func(v int) {
-			switch d := bfs.dist[v]; {
+			switch d := bfs.distOf(v); {
 			case d < 0:
 				// Unreachable from the aggregate's members — a partition
 				// that genuinely cannot see them; leave no entry.
@@ -494,7 +550,7 @@ func (t *Topology) installFlatRoutes(b *Built, hostIface []int, bfs *topoBFS) {
 			}
 		}
 		for v := 0; v < ns; v++ {
-			if v == tgt || bfs.dist[v] < 0 {
+			if v == tgt || bfs.distOf(v) < 0 {
 				continue
 			}
 			cands := bfs.candidates(v)

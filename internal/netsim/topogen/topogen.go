@@ -47,6 +47,19 @@ type ClosSpec struct {
 	// instances; it exists so tests can compare prefix and per-IP routing
 	// on the same fabric.
 	FlatRoutes bool
+
+	// DefaultUp replaces the globally-visible per-pod aggregates with a
+	// three-level default-route plan: leaf aggregates stay scoped to their
+	// pod, pod aggregates are scoped to the core tier plus the pod's own
+	// switches, and a single global 10.0.0.0/8 default targets the cores.
+	// Off-pod reachability then costs every pod switch one entry instead
+	// of O(Pods), moving the O(Pods) tier onto the cores alone — the
+	// difference between 10⁵- and 10⁶-endpoint fabrics fitting in memory.
+	// Forwarding is hop-for-hop identical to the per-pod plan for valid
+	// addresses (the ECMP candidate sets coincide at every tier); invalid
+	// pod bits blackhole at a core instead of dropping at the source leaf.
+	// Only meaningful when Pods > 1 and LeafPerPod > 1.
+	DefaultUp bool
 }
 
 // FatTree returns the spec of a k-ary fat tree (k even): k pods of k/2
@@ -169,7 +182,7 @@ func Clos(spec ClosSpec) (*netsim.Topology, *ClosMeta) {
 		if over == 0 {
 			over = 1
 		}
-		spec.LeafRate = int64(float64(spec.HostsPerLeaf)*float64(spec.HostRate) /
+		spec.LeafRate = int64(float64(spec.HostsPerLeaf) * float64(spec.HostRate) /
 			(float64(spec.SpinePerPod) * over))
 		if spec.LeafRate <= 0 {
 			panic("topogen: derived LeafRate is not positive")
@@ -259,13 +272,28 @@ func Clos(spec ClosSpec) (*netsim.Topology, *ClosMeta) {
 				// gets there through the pod aggregate first.
 				t.AddAggregate(m.LeafPrefix[p][l], []int{lf}, podScope)
 			}
-			// One global pod aggregate targeting the pod's spines. In a
+			// One pod aggregate targeting the pod's spines. In a
 			// single-pod fabric the leaf aggregates already cover
 			// everything and a global spine-target would shadow nothing —
-			// skip it and let unknown pods blackhole by absence.
+			// skip it and let unknown pods blackhole by absence. Under
+			// DefaultUp the aggregate is scoped to the cores and the pod
+			// itself; everyone else reaches the pod via the default below.
 			if spec.Pods > 1 {
-				t.AddAggregate(m.PodPrefix[p], m.Spine[p], nil)
+				if spec.DefaultUp {
+					scope := make([]int, 0, len(m.Core)+len(podScope))
+					scope = append(scope, m.Core...)
+					scope = append(scope, podScope...)
+					t.AddAggregate(m.PodPrefix[p], m.Spine[p], scope)
+				} else {
+					t.AddAggregate(m.PodPrefix[p], m.Spine[p], nil)
+				}
 			}
+		}
+		if spec.DefaultUp && spec.Pods > 1 && spec.LeafPerPod > 1 {
+			// The global default: any address in 10/8 without a longer
+			// match travels up to the core tier, where the pod aggregates
+			// take over (or blackhole unknown pods).
+			t.AddAggregate(proto.MakePrefix(proto.IP(0x0a000000), 8), m.Core, nil)
 		}
 	}
 	return t, m

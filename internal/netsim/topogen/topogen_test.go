@@ -255,3 +255,74 @@ func TestECMPDeterministicAcrossPartitionedBuilds(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultUpRouteEquivalence: the default-route plan must (a) deliver
+// every full-mesh probe exactly like the per-pod aggregate plan, (b)
+// install the same next hop for every valid host address on every switch —
+// the ECMP candidate sets coincide tier by tier, so forwarding is
+// hop-for-hop identical — and (c) keep per-pod-switch routing state
+// independent of the pod count, pushing the O(Pods) tier onto the cores.
+func TestDefaultUpRouteEquivalence(t *testing.T) {
+	spec := topogen.ClosSpec{
+		Pods: 4, LeafPerPod: 3, SpinePerPod: 2, Cores: 4, HostsPerLeaf: 2,
+		HostRate: 10 * sim.Gbps, LeafRate: 40 * sim.Gbps,
+		LinkDelay: sim.Microsecond,
+	}
+	du := spec
+	du.DefaultUp = true
+
+	wantCounts, podDrops := probeCounts(t, spec, 42)
+	gotCounts, duDrops := probeCounts(t, du, 42)
+	if podDrops != 0 || duDrops != 0 {
+		t.Fatalf("drops: per-pod=%d default-up=%d, want 0", podDrops, duDrops)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("host %d: default-up delivered %d, per-pod plan %d",
+				i, gotCounts[i], wantCounts[i])
+		}
+	}
+
+	topoPod, m := topogen.Clos(spec)
+	bPod := topoPod.Build("clos", 7, nil, nil)
+	topoDU, _ := topogen.Clos(du)
+	bDU := topoDU.Build("clos", 7, nil, nil)
+	for p := 0; p < spec.Pods; p++ {
+		for l := 0; l < spec.LeafPerPod; l++ {
+			for i := 0; i < spec.HostsPerLeaf; i++ {
+				ip := m.HostIP(p, l, i)
+				for si := range bPod.Switches {
+					refOut, refOK := bPod.Switches[si].Route(ip)
+					out, ok := bDU.Switches[si].Route(ip)
+					if refOK != ok || (ok && refOut != out) {
+						t.Fatalf("switch %d route to %v: default-up (%d,%v), per-pod (%d,%v)",
+							si, ip, out, ok, refOut, refOK)
+					}
+				}
+			}
+		}
+	}
+
+	// Pod-switch state must not grow with the pod count.
+	maxPodEntries := func(spec topogen.ClosSpec) int {
+		topo, m := topogen.Clos(spec)
+		b := topo.Build("clos", 7, nil, nil)
+		max := 0
+		for p := 0; p < spec.Pods; p++ {
+			for _, si := range m.PodSwitches(p) {
+				perIP, prefix := b.Switches[si].RouteEntries()
+				if n := perIP + prefix; n > max {
+					max = n
+				}
+			}
+		}
+		return max
+	}
+	small, big := du, du
+	big.Pods = 8
+	big.Cores = 4
+	if a, b := maxPodEntries(small), maxPodEntries(big); a != b {
+		t.Fatalf("default-up pod-switch entries grew with pods: %d pods → %d entries, %d pods → %d",
+			small.Pods, a, big.Pods, b)
+	}
+}

@@ -1,0 +1,169 @@
+package workload_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim/workload"
+	"repro/internal/sim"
+)
+
+func TestTraceCSVParse(t *testing.T) {
+	in := `# start_ns,src,dst,bytes
+1000, 0, 1, 2000
+
+2000,1,0,500
+3000,2,0,10000
+`
+	tr, err := workload.ParseTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.TraceFlow{
+		{Start: 1000, Src: 0, Dst: 1, Bytes: 2000},
+		{Start: 2000, Src: 1, Dst: 0, Bytes: 500},
+		{Start: 3000, Src: 2, Dst: 0, Bytes: 10000},
+	}
+	if len(tr.Flows) != len(want) {
+		t.Fatalf("parsed %d flows, want %d", len(tr.Flows), len(want))
+	}
+	for i, f := range tr.Flows {
+		if f != want[i] {
+			t.Fatalf("flow %d: got %+v, want %+v", i, f, want[i])
+		}
+	}
+	if _, err := workload.ParseTraceCSV(strings.NewReader("1000,0,1\n")); err == nil {
+		t.Fatal("3-field line parsed without error")
+	}
+	if _, err := workload.ParseTraceCSV(strings.NewReader("x,0,1,10\n")); err == nil {
+		t.Fatal("non-numeric field parsed without error")
+	}
+}
+
+func TestTraceBinaryRoundTripAndAutoDetect(t *testing.T) {
+	tr := &workload.Trace{Flows: []workload.TraceFlow{
+		{Start: 0, Src: 3, Dst: 1, Bytes: 1},
+		{Start: 5 * sim.Microsecond, Src: 0, Dst: 2, Bytes: 1 << 40},
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.ParseTraceBinary(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range got.Flows {
+		if f != tr.Flows[i] {
+			t.Fatalf("flow %d: got %+v, want %+v", i, f, tr.Flows[i])
+		}
+	}
+	if _, err := workload.ParseTraceBinary(buf.Bytes()[:10]); err == nil {
+		t.Fatal("truncated binary trace parsed without error")
+	}
+
+	// LoadTrace detects binary by magic and falls back to CSV.
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	if err := workload.SaveTrace(bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := workload.LoadTrace(bin); err != nil || len(got.Flows) != 2 {
+		t.Fatalf("binary load: %v (%d flows)", err, len(got.Flows))
+	}
+	csv := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(csv, []byte("0,3,1,1\n5000,0,2,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := workload.LoadTrace(csv); err != nil || len(got.Flows) != 2 {
+		t.Fatalf("csv load: %v", err)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	ok := &workload.Trace{Flows: []workload.TraceFlow{
+		{Start: 0, Src: 0, Dst: 1, Bytes: 10},
+		{Start: 0, Src: 1, Dst: 0, Bytes: 10},
+		{Start: 5, Src: 2, Dst: 0, Bytes: 10},
+	}}
+	if err := ok.Validate(3); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []workload.Trace{
+		{Flows: []workload.TraceFlow{{Start: 5, Src: 0, Dst: 1, Bytes: 1}, {Start: 0, Src: 0, Dst: 1, Bytes: 1}}},
+		{Flows: []workload.TraceFlow{{Start: 0, Src: 0, Dst: 3, Bytes: 1}}},
+		{Flows: []workload.TraceFlow{{Start: 0, Src: -1, Dst: 1, Bytes: 1}}},
+		{Flows: []workload.TraceFlow{{Start: 0, Src: 1, Dst: 1, Bytes: 1}}},
+		{Flows: []workload.TraceFlow{{Start: 0, Src: 0, Dst: 1, Bytes: 0}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(3); err == nil {
+			t.Fatalf("bad trace %d accepted", i)
+		}
+	}
+}
+
+// TestTraceReplayPacketTier replays a hand-written trace over a small Clos
+// and checks every tuple became exactly one flow with the traced size, at
+// the traced time.
+func TestTraceReplayPacketTier(t *testing.T) {
+	tr := &workload.Trace{Flows: []workload.TraceFlow{
+		{Start: 0, Src: 0, Dst: 5, Bytes: 2000},
+		{Start: 10 * sim.Microsecond, Src: 3, Dst: 1, Bytes: 40_000},
+		{Start: 10 * sim.Microsecond, Src: 3, Dst: 2, Bytes: 1500},
+		{Start: 50 * sim.Microsecond, Src: 7, Dst: 0, Bytes: 100},
+	}}
+	s, _, hosts := closHosts(t, smallClos, 23, 1)
+	eng := workload.Install(hosts, workload.Spec{
+		Arrival: tr,
+		Seed:    23,
+	})
+	s.RunSequential(2 * sim.Millisecond)
+	r := eng.Collect()
+	if r.FlowsStarted != len(tr.Flows) {
+		t.Fatalf("started %d flows, want %d", r.FlowsStarted, len(tr.Flows))
+	}
+	if r.FlowsCompleted != len(tr.Flows) {
+		t.Fatalf("completed %d flows, want %d", r.FlowsCompleted, len(tr.Flows))
+	}
+	var wantBytes int64
+	for _, f := range tr.Flows {
+		wantBytes += f.Bytes
+	}
+	if r.BytesSent != wantBytes {
+		t.Fatalf("sent %d bytes, want %d", r.BytesSent, wantBytes)
+	}
+	if live := s.LiveFrames(); live != 0 {
+		t.Fatalf("%d frames leaked", live)
+	}
+}
+
+// TestTraceReplayDeterministicAcrossPartitions: the same trace on the same
+// fabric produces identical flow counts however the fabric is partitioned.
+func TestTraceReplayDeterministicAcrossPartitions(t *testing.T) {
+	tr := &workload.Trace{Flows: []workload.TraceFlow{
+		{Start: 0, Src: 0, Dst: 9, Bytes: 3000},
+		{Start: 2 * sim.Microsecond, Src: 9, Dst: 0, Bytes: 3000},
+		{Start: 4 * sim.Microsecond, Src: 4, Dst: 12, Bytes: 30_000},
+	}}
+	run := func(parts int) workload.Report {
+		s, _, hosts := closHosts(t, smallClos, 29, parts)
+		eng := workload.Install(hosts, workload.Spec{Arrival: tr, Seed: 29})
+		if parts > 1 {
+			if err := s.RunCoupled(1 * sim.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			s.RunSequential(1 * sim.Millisecond)
+		}
+		return eng.Collect()
+	}
+	a, b := run(1), run(4)
+	if a.FlowsStarted != b.FlowsStarted || a.FlowsCompleted != b.FlowsCompleted ||
+		a.BytesSent != b.BytesSent || a.FCT.Mean() != b.FCT.Mean() {
+		t.Fatalf("partitioned replay diverged: %v vs %v", a, b)
+	}
+}

@@ -160,11 +160,31 @@ const (
 	TransportTCP
 )
 
+// Fidelity selects which tier simulates a workload's flows — the SplitSim
+// mixed-fidelity knob (paper §3.1) applied to traffic.
+type Fidelity int
+
+const (
+	// FidelityPacket runs every flow packet-by-packet over materialized
+	// protocol-level hosts — the default, and the only fidelity
+	// workload.Install accepts.
+	FidelityPacket Fidelity = iota
+	// FidelityFlow runs flows as fluid rates in the flow-level background
+	// tier (netsim/flowsim): no hosts materialized, no frames, O(active
+	// flows) state. Install a FidelityFlow spec with flowsim.InstallSpec,
+	// which dispatches on this knob and accepts host *slots* rather than
+	// hosts.
+	FidelityFlow
+)
+
 // Spec configures one workload.
 type Spec struct {
 	Pattern Pattern
 	Sizes   SizeDist
 	Arrival Arrival
+
+	// Fidelity selects packet-level (default) or flow-level execution.
+	Fidelity Fidelity
 
 	Seed uint64
 
@@ -215,6 +235,10 @@ const (
 type Engine struct {
 	spec   Spec
 	states []*hostState
+
+	// traceIdx[i] lists the indices into the Trace's flow list sourced by
+	// participant i, in replay order; nil unless Arrival is a *Trace.
+	traceIdx [][]int32
 }
 
 // hostState is the per-host slice of the workload; only events on its own
@@ -237,6 +261,7 @@ type hostState struct {
 	nextH  int // open-loop arrival tick
 	burstH int // UDP burst re-arm, args: {dst<<32|flowID, flowStart, remaining}
 	thinkH int // closed-loop think expiry
+	traceH int // trace-replay cursor advance, args: {cursor}
 }
 
 // Install binds the workload onto hosts: every host becomes a receiver on
@@ -246,6 +271,9 @@ type hostState struct {
 // ends.
 func Install(hosts []*netsim.Host, spec Spec) *Engine {
 	spec.defaults()
+	if spec.Fidelity != FidelityPacket {
+		panic("workload: Install is packet-level; use flowsim.InstallSpec for FidelityFlow specs")
+	}
 	if len(hosts) < 2 {
 		panic("workload: need at least two hosts")
 	}
@@ -258,6 +286,15 @@ func Install(hosts []*netsim.Host, spec Spec) *Engine {
 		}
 	}
 	e := &Engine{spec: spec, states: make([]*hostState, len(hosts))}
+	if tr, ok := spec.Arrival.(*Trace); ok {
+		if err := tr.Validate(len(hosts)); err != nil {
+			panic("workload: " + err.Error())
+		}
+		e.traceIdx = make([][]int32, len(hosts))
+		for fi, f := range tr.Flows {
+			e.traceIdx[f.Src] = append(e.traceIdx[f.Src], int32(fi))
+		}
+	}
 	for i, h := range hosts {
 		// Key the stream by address, not slot order: the same host draws
 		// the same stream however the fabric is partitioned or the host
@@ -278,6 +315,7 @@ func Install(hosts []*netsim.Host, spec Spec) *Engine {
 		st.nextH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/next", spec.Port, i), st.nextArrival)
 		st.burstH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/burst", spec.Port, i), st.burstFire)
 		st.thinkH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/think", spec.Port, i), st.thinkFire)
+		st.traceH = h.RegisterNamed(fmt.Sprintf("wl/%d/%d/trace", spec.Port, i), st.traceFire)
 		h.BindUDP(spec.Port, st.receive)
 		h.SetApp(netsim.AppFunc(func(*netsim.Host) { st.start() }))
 	}
@@ -306,6 +344,14 @@ func (st *hostState) start() {
 		for i := 0; i < a.Concurrency; i++ {
 			st.startFlow()
 		}
+	case *Trace:
+		list := st.eng.traceIdx[st.idx]
+		if len(list) == 0 {
+			return
+		}
+		// Simulation start is time 0, so the first flow's absolute start
+		// time is also its delay from now.
+		st.h.PostNamed(a.Flows[list[0]].Start, st.traceH, sim.NamedArgs{0})
 	default:
 		panic(fmt.Sprintf("workload: unknown arrival %T", st.eng.spec.Arrival))
 	}
@@ -346,6 +392,24 @@ func (st *hostState) thinkFire(sim.NamedArgs) {
 	st.startFlow()
 }
 
+// traceFire replays this host's next trace flow and re-arms for the one
+// after. The cursor rides in the event args, so a pending replay position
+// checkpoints with the scheduler's event section.
+func (st *hostState) traceFire(args sim.NamedArgs) {
+	tr := st.eng.spec.Arrival.(*Trace)
+	list := st.eng.traceIdx[st.idx]
+	cur := int(args[0])
+	f := tr.Flows[list[cur]]
+	st.launch(f.Dst, int(f.Bytes))
+	if cur+1 < len(list) {
+		d := tr.Flows[list[cur+1]].Start - st.h.Now()
+		if d < 0 {
+			d = 0
+		}
+		st.h.PostNamed(d, st.traceH, sim.NamedArgs{uint64(cur + 1)})
+	}
+}
+
 // startFlow draws a destination and size and begins transmitting.
 func (st *hostState) startFlow() {
 	n := len(st.eng.states)
@@ -353,13 +417,20 @@ func (st *hostState) startFlow() {
 	if dst < 0 || dst == st.idx {
 		return
 	}
-	flowID := uint32(st.idx)<<16 | uint32(st.flows&0xffff)
-	seq := st.flows
-	st.flows++
 	size := st.eng.spec.Sizes.Sample(st.rng)
+	st.launch(dst, size)
+}
+
+// launch begins transmitting one flow of size bytes to participant dst —
+// the common tail of pattern-drawn (startFlow) and trace-replayed
+// (traceFire) flows.
+func (st *hostState) launch(dst, size int) {
 	if size < 1 {
 		size = 1
 	}
+	flowID := uint32(st.idx)<<16 | uint32(st.flows&0xffff)
+	seq := st.flows
+	st.flows++
 	if st.eng.spec.Transport == TransportTCP {
 		st.startTCPFlow(st.eng.states[dst], seq, size)
 		return

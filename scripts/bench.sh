@@ -49,12 +49,14 @@ go test -run '^$' -bench 'BenchmarkSubstrate' \
     ./internal/netsim/ ./internal/nicsim/ ./internal/tcpstack/ |
     go run ./cmd/benchjson -suite netsim -out BENCH_netsim.json -rev "$REV" $STRICT
 
-# The scale suite builds 10⁴–10⁵-host fabrics per iteration; one iteration
+# The scale suite builds 10⁴–10⁶-host fabrics per iteration; one iteration
 # per benchmark is representative and keeps the wall time sane. It records
 # the tentpole metrics pkts/s (sustained simulated packets per wall-clock
-# second) and bytes/host (resident routing state) alongside ns/op.
+# second), bytes/host (resident routing state), endpoints (fabric size for
+# the mixed-fidelity million-endpoint run), and x-events (packet-event
+# projection over flow-tier events) alongside ns/op.
 echo "== datacenter-scale fabric benchmarks (rev $REV) =="
 go test -run '^$' -bench 'BenchmarkScale' \
     -benchtime "${BENCH_SCALE_TIME:-1x}" -count "$COUNT" -timeout 30m \
-    ./internal/netsim/topogen/ |
+    ./internal/netsim/topogen/ ./internal/netsim/flowsim/ |
     go run ./cmd/benchjson -suite scale -out BENCH_scale.json -rev "$REV" $STRICT
