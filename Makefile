@@ -8,11 +8,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos parallel scale ckpt bench all
+.PHONY: check build vet test race chaos parallel spec scale ckpt bench all
 
 all: check race
 
-check: vet build test chaos parallel scale ckpt
+check: vet build test chaos parallel spec scale ckpt
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,14 @@ race:
 parallel:
 	$(GO) test -race -run 'TestParallel' \
 		./internal/link/ ./internal/orch/ ./internal/profiler/
+
+# Optimistic executor gate: the speculation digest/rollback/leap property
+# tests (bit-identity with sequential across placements and GOMAXPROCS
+# levels) and the remote-rejection contract under the race detector, plus
+# the rollback fuzz seed corpus.
+spec:
+	$(GO) test -race -run 'TestOptimistic|TestParallelRemote' ./internal/orch/
+	$(GO) test -run 'FuzzOptimisticRollback' ./internal/orch/
 
 # Fault-injection suite: supervised transport under connection kills,
 # garbles, and delays, with goroutine-leak accounting — raced.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -142,6 +143,7 @@ flags for run and plan:
   -seed n        random seed (default 42)
   -placement p   execution placement (placement: %s; fig7/fig8: s|percomp|auto)
   -parallel      run placed groups on real cores (pinned threads, batched sync windows)
+  -optimistic[=K]  speculate K sync windows past the committed horizon (placed runs; bare flag = default depth)
   -checkpoint-at us     warmup horizon in microseconds for checkpointing experiments (warmstart)
   -checkpoint-file f    write the captured checkpoint to f
   -restore-file f       resume from a checkpoint file instead of simulating the warmup
@@ -161,6 +163,8 @@ func parseOpts(cmd string, args []string) experiments.Options {
 	seed := fs.Uint64("seed", 42, "random seed")
 	placement := fs.String("placement", "", "execution placement")
 	parallel := fs.Bool("parallel", false, "multi-core executor for placed runs")
+	var optimistic optimisticFlag
+	fs.Var(&optimistic, "optimistic", "optimistic executor for placed runs; =K sets speculation depth")
 	ckAt := fs.Float64("checkpoint-at", 0, "warmup horizon in microseconds (checkpointing experiments)")
 	ckFile := fs.String("checkpoint-file", "", "write the captured checkpoint here")
 	restore := fs.String("restore-file", "", "resume from this checkpoint file")
@@ -171,9 +175,47 @@ func parseOpts(cmd string, args []string) experiments.Options {
 		fail("-bg accepts \"flow\", not %q", *bg)
 	}
 	return experiments.Options{Scale: *scale, Seed: *seed, Placement: *placement, Parallel: *parallel,
-		CheckpointAt:   sim.Time(*ckAt * float64(sim.Microsecond)),
+		Optimistic: optimistic.on, OptimisticK: optimistic.k,
+		CheckpointAt: sim.Time(*ckAt * float64(sim.Microsecond)),
 		CheckpointFile: *ckFile, RestoreFile: *restore,
 		Hosts: *hosts, Bg: *bg}
+}
+
+// optimisticFlag implements -optimistic[=K]: bare -optimistic enables the
+// optimistic executor at its default speculation depth, -optimistic=K (K > 0)
+// sets the depth explicitly, -optimistic=false disables it.
+type optimisticFlag struct {
+	on bool
+	k  int
+}
+
+func (f *optimisticFlag) String() string {
+	if !f.on {
+		return "false"
+	}
+	if f.k > 0 {
+		return strconv.Itoa(f.k)
+	}
+	return "true"
+}
+
+func (f *optimisticFlag) IsBoolFlag() bool { return true }
+
+func (f *optimisticFlag) Set(s string) error {
+	switch s {
+	case "", "true":
+		f.on, f.k = true, 0
+		return nil
+	case "false":
+		f.on, f.k = false, 0
+		return nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 1 {
+		return fmt.Errorf("want true, false, or a window count >= 1, got %q", s)
+	}
+	f.on, f.k = true, k
+	return nil
 }
 
 func fail(format string, args ...interface{}) {

@@ -146,6 +146,11 @@ func (e Env) PostNamed(t sim.Time, h int32, args sim.NamedArgs) {
 	e.Sched.PostNamed(t, e.Src, h, args)
 }
 
+// The optimistic input log keys its deep-copy-vs-reference decision on
+// Releaser. Wire frames must stay on the deep-copy side: delivery adopts
+// their byte buffer, so a logged reference would replay recycled storage.
+var _ Releaser = (*proto.WireFrame)(nil)
+
 // Frame payload codecs: the three wire-message shapes the substrates
 // exchange. Frames re-mint from the destination component's pool so
 // ownership (and the leak counters) stay balanced across a restore. The

@@ -33,6 +33,15 @@ type Options struct {
 	// instead of the plain coupled executor. Results are bit-identical
 	// either way; only wall-clock measurements change.
 	Parallel bool
+	// Optimistic executes placed runs with the optimistic executor
+	// (orch.RunOptimistic: groups speculate past their conservative sync
+	// horizons with per-group snapshot/rollback). Implies the parallel
+	// executor's thread placement. Results stay bit-identical; only
+	// wall-clock measurements change.
+	Optimistic bool
+	// OptimisticK overrides the speculation depth (sync windows past the
+	// committed horizon) for Optimistic runs. 0 keeps the executor default.
+	OptimisticK int
 	// CheckpointAt overrides the warmup horizon for experiments that
 	// checkpoint (warmstart). Zero keeps the experiment's default.
 	CheckpointAt sim.Time

@@ -186,9 +186,19 @@ func PlacementStudy(opts Options) (*PlacementResult, error) {
 		run := buildPlacementStudy(opts)
 		sw := newStopwatch()
 		var runErr error
-		if opts.Parallel {
+		switch {
+		case opts.Optimistic:
+			oo := orch.DefaultOptimisticOptions()
+			if opts.OptimisticK > 0 {
+				oo.MaxWindows = opts.OptimisticK
+			}
+			var pl *orch.ExecutionPlan
+			if pl, runErr = run.s.Plan(p); runErr == nil {
+				_, runErr = pl.RunOptimisticOpts(dur, oo)
+			}
+		case opts.Parallel:
 			runErr = run.s.RunParallel(dur, p)
-		} else {
+		default:
 			runErr = run.s.RunPlaced(dur, p)
 		}
 		if runErr != nil {

@@ -1,6 +1,7 @@
 package link
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/sim"
@@ -44,4 +45,19 @@ func MeasureSyncCost() float64 {
 		return 0
 	}
 	return wall / float64(syncs)
+}
+
+var (
+	measuredOnce sync.Once
+	measuredCost float64
+)
+
+// MeasuredSyncCost returns MeasureSyncCost's result, measured once per
+// process and cached. The fabric price does not drift within a run, but a
+// fresh ping-pong costs about a millisecond — too much to pay on every
+// placement decision or plan rendering, which is where this number is
+// consumed (orch.HostModelParams, plan output).
+func MeasuredSyncCost() float64 {
+	measuredOnce.Do(func() { measuredCost = MeasureSyncCost() })
+	return measuredCost
 }

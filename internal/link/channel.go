@@ -70,6 +70,12 @@ type Endpoint struct {
 	// would wait on a horizon in the already-simulated past.
 	start sim.Time
 
+	// spec, when non-nil, carries the optimistic-execution state (withheld
+	// outputs, input log, leap counters — see spec.go). Set by
+	// Runner.SetSpec; nil in conservative runs, keeping their paths free of
+	// speculation overhead beyond one pointer test.
+	spec *epSpec
+
 	Stats Counters
 }
 
@@ -109,12 +115,28 @@ func (e *Endpoint) SendSub(sub uint16, payload core.Message) {
 		panic("link: endpoint " + e.label + " not attached to a runner")
 	}
 	now := e.runner.sched.Now()
+	e.Stats.TxData += msgCount(payload)
+	if sp := e.spec; sp != nil {
+		if sp.withhold {
+			// Speculative group: the send may sit at or past the committed
+			// horizon and could still roll back, so it is staged locally and
+			// published by releaseSpec once committed passes its stamp.
+			sp.withheld = append(sp.withheld, specOut{T: now, Sub: sub, Payload: payload})
+			return
+		}
+		e.out.push(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
+		sp.tx.Add(1)
+		if e.lastSentT != now {
+			e.lastSentT = now
+			e.runner.syncCapOK = false
+		}
+		return
+	}
 	e.out.push(Message{T: now, Kind: KindData, Sub: sub, Payload: payload})
 	if e.lastSentT != now {
 		e.lastSentT = now
 		e.runner.syncCapOK = false
 	}
-	e.Stats.TxData += msgCount(payload)
 }
 
 // SubPort returns a core.Port bound to one sub-channel of this endpoint —

@@ -67,6 +67,11 @@ type Runner struct {
 	// OnAdvance, if set, is invoked after each batch of events with the
 	// runner's new virtual time; the profiler hooks in here.
 	OnAdvance func(now sim.Time)
+
+	// spec, when non-nil, switches Run into the optimistic loop (see
+	// spec.go): speculation past the committed horizon with snapshot
+	// rollback, plus GVT-leap horizon tracking.
+	spec *specState
 }
 
 // NewRunner creates a runner around sched.
@@ -129,6 +134,10 @@ func (r *Runner) Counters() Counters {
 // Run executes the runner until virtual time end. It is blocking; Group runs
 // many runners concurrently. Events scheduled at exactly end do not execute.
 func (r *Runner) Run(end sim.Time) {
+	if r.spec != nil {
+		r.runSpec(end)
+		return
+	}
 	r.end = end
 	r.epoch = time.Now()
 	for _, c := range r.comps {

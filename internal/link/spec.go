@@ -1,0 +1,784 @@
+package link
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Optimistic execution. A runner in spec mode keeps two clocks: committed —
+// the conservative horizon, below which execution is final — and the
+// scheduler's actual clock, which may speculate up to K sync windows ahead.
+// Everything that could leak speculation out of the group is fenced:
+//
+//   - Outgoing data messages stamped at or after committed are withheld in a
+//     per-endpoint staging buffer and published only once committed passes
+//     their timestamp, so peers never observe state that might roll back.
+//   - Incoming data messages are appended to a per-endpoint input log (with
+//     pooled payloads deep-copied through the snap codec, since the original
+//     is consumed by delivery); a rollback replays the log so no delivery is
+//     lost, and the log order makes replayed event order bit-identical.
+//   - A message whose delivery time is at or below the scheduler's executed
+//     watermark (MaxExec) is a straggler: the group — and only the group —
+//     rolls back to its last committed snapshot and re-executes. Re-sends of
+//     already-published messages are deduplicated by count against a
+//     publish oracle that also cross-checks (time, sub) for divergence.
+//
+// Orthogonally, every spec runner (speculating or not) participates in
+// GVT-style committed-horizon tracking: at a stall it advertises a floor —
+// the earliest virtual time at which it could ever publish a new message —
+// through a seq-cst atomic, and a stalled runner that observes every
+// cross-group edge empty may leap its committed clock to
+// min(floors) + its minimum inbound latency, far past the per-hop ladder.
+// That collapses the empty-window sync ladders that dominate
+// latency-sparse graphs, costs nothing when traffic is dense (any
+// in-flight message vetoes the leap), and never needs rollback.
+
+// SpecCounters aggregates a runner's speculation activity. All fields are
+// written only by the owning runner goroutine; read them after the run, or
+// from that goroutine (the profiler's tick events qualify).
+type SpecCounters struct {
+	Snapshots   uint64 // committed-state snapshots taken
+	Rollbacks   uint64 // straggler-triggered restores
+	Leaps       uint64 // GVT leaps past the conservative horizon
+	Replayed    uint64 // input-log deliveries re-posted after rollbacks
+	WastedNanos uint64 // wall nanos of speculative execution discarded by rollbacks
+}
+
+// SpecControl configures one runner's optimistic execution; the orchestrator
+// builds it per placement group and installs it with SetSpec before Run.
+type SpecControl struct {
+	// MaxWindows is K: how many sync windows past the committed horizon the
+	// group may speculate. 0 disables speculation; the runner still runs the
+	// spec loop and takes part in GVT leaping.
+	MaxWindows int
+	// Window is the speculation window unit; 0 means the minimum sync
+	// interval across the runner's endpoints.
+	Window sim.Time
+	// Snapshot captures the group's committed state (component state via
+	// core.Stateful, scheduler mark + pending events) into recycled buffers;
+	// Restore rebuilds exactly that state. Both are orchestrator closures —
+	// the fabric only decides when to call them. nil when MaxWindows is 0.
+	Snapshot func() error
+	Restore  func() error
+	// Reason, when non-empty, marks the group conservative by construction
+	// (a member component is not core.Stateful, aux state is attached, ...):
+	// MaxWindows is forced to 0 and the reason surfaces in reports.
+	Reason string
+}
+
+const (
+	// specRecoverStreak is how many consecutive clean horizon commits earn
+	// back one doubling of an adaptively lowered K.
+	specRecoverStreak = 64
+	// specSamplePeriod is the sampling stride for timing speculative
+	// batches, mirroring profSamplePeriod's reasoning.
+	specSamplePeriod = 8 // power of two
+)
+
+// specState is the per-runner half of optimistic execution.
+type specState struct {
+	ctl *SpecControl
+	dom *SpecDomain
+
+	k        int      // current speculation depth (adaptive, <= ctl.MaxWindows)
+	window   sim.Time // speculation window unit
+	minInLat sim.Time // min latency over endpoints: the leap increment
+
+	committed sim.Time // conservative horizon: execution below is final
+	snapValid bool
+	snapAt    sim.Time
+	snapDone  uint64 // Processed() at the snapshot
+
+	demoted      bool   // permanently conservative (snapshot/log failure)
+	demoteReason string
+
+	rollbackPending bool
+	cleanStreak     int
+	specTick        uint32
+	specNanos       uint64 // sampled wall nanos speculated since the snapshot
+
+	// floor is the GVT contribution: the earliest virtual time this runner
+	// could ever publish a new message at, given no new input. Lowered (to
+	// committed) before consuming input, raised at a stall. Seq-cst via
+	// atomic so a peer's leap read pairs with the edge-counter reads.
+	floor   atomic.Int64
+	scratch []uint64 // per-runner GVT read buffer, len = domain edge count
+
+	counters SpecCounters
+}
+
+// specOut is one staged (or, payload-less, one published) outgoing message.
+type specOut struct {
+	T       sim.Time
+	Sub     uint16
+	Payload core.Message
+}
+
+// specIn is one logged incoming message. Pooled (core.Releaser) payloads are
+// deep-copied into the endpoint's log buffer at [off, off+n) and re-minted
+// at replay; plain payloads are logged by reference, relying on the fabric's
+// standing contract that messages are immutable after send.
+type specIn struct {
+	T       sim.Time
+	Sub     uint16
+	Payload core.Message
+	off, n  int32
+	enc     bool
+}
+
+// epSpec is the per-endpoint half of optimistic execution.
+type epSpec struct {
+	withhold bool // speculative group: outgoing data is staged until committed
+	owners   map[uint16]core.Component
+
+	withheld []specOut
+	log      []specIn
+	logBuf   snap.Encoder
+
+	// pubLog records (T, Sub) of every data message published since the
+	// snapshot; after a rollback the first dropLeft re-sends are dropped as
+	// duplicates, each cross-checked against its pubLog entry so silent
+	// replay divergence panics instead of corrupting a peer.
+	pubLog   []specOut
+	dropLeft int
+
+	snapTxData uint64
+	snapRxData uint64
+
+	// tx counts data messages this endpoint has staged into its outgoing
+	// pipe; rx counts data messages handled from the incoming one. A GVT
+	// leap reads rx before tx on every edge: observing them equal proves
+	// the edge held no data at the tx-read instant. Syncs are exempt — they
+	// never create events, so they cannot invalidate a leap.
+	tx atomic.Uint64
+	rx atomic.Uint64
+}
+
+// SetSpec installs optimistic execution on the runner. Endpoints must
+// already be attached; call once, before Run.
+func (r *Runner) SetSpec(ctl *SpecControl) {
+	st := &specState{ctl: ctl, k: ctl.MaxWindows}
+	if ctl.Reason != "" {
+		st.k = 0
+		st.demoted = true
+		st.demoteReason = ctl.Reason
+	}
+	st.window = ctl.Window
+	st.minInLat = sim.Infinity
+	for _, e := range r.eps {
+		if st.window <= 0 || e.ch.SyncInterval < st.window {
+			st.window = e.ch.SyncInterval
+		}
+		if e.ch.Latency < st.minInLat {
+			st.minInLat = e.ch.Latency
+		}
+		e.spec = &epSpec{withhold: st.k > 0}
+	}
+	r.spec = st
+}
+
+// SetSpecOwner records the component owning the sink behind sub, so logged
+// pooled payloads can re-mint from its pool at replay. Requires SetSpec.
+func (e *Endpoint) SetSpecOwner(sub uint16, owner core.Component) {
+	if e.spec == nil {
+		panic("link: SetSpecOwner on endpoint " + e.label + " without SetSpec")
+	}
+	if e.spec.owners == nil {
+		e.spec.owners = make(map[uint16]core.Component)
+	}
+	e.spec.owners[sub] = owner
+}
+
+// SpecStats returns the runner's speculation counters, the reason it runs
+// conservatively ("" when speculative), and whether spec mode is active.
+func (r *Runner) SpecStats() (SpecCounters, string, bool) {
+	if r.spec == nil {
+		return SpecCounters{}, "", false
+	}
+	return r.spec.counters, r.spec.demoteReason, true
+}
+
+// SpecDomain is the set of runners sharing a GVT: all groups of one
+// optimistic run. Construct after SetSpec on every runner.
+type SpecDomain struct {
+	runners []*Runner
+	// cons[i]/pubs[i] are the consumer/producer counters of directed edge i
+	// (each endpoint's incoming pipe, produced by its peer).
+	cons []*atomic.Uint64
+	pubs []*atomic.Uint64
+}
+
+// NewSpecDomain wires the runners into one leap domain.
+func NewSpecDomain(runners []*Runner) *SpecDomain {
+	d := &SpecDomain{runners: runners}
+	for _, r := range runners {
+		if r.spec == nil {
+			panic("link: NewSpecDomain with runner " + r.name + " missing SetSpec")
+		}
+		for _, e := range r.eps {
+			if e.peer.spec == nil {
+				panic("link: NewSpecDomain with endpoint " + e.peer.label + " outside the domain")
+			}
+			d.cons = append(d.cons, &e.spec.rx)
+			d.pubs = append(d.pubs, &e.peer.spec.tx)
+		}
+	}
+	for _, r := range runners {
+		r.spec.dom = d
+		r.spec.scratch = make([]uint64, len(d.cons))
+	}
+	return d
+}
+
+// tryLeap attempts a GVT leap for r: if every cross-group edge is observably
+// empty, committed jumps to min(all floors) + r's minimum inbound latency.
+// The read sequence is a two-cut snapshot: every consumer counter, then every
+// producer counter (a mismatch means data was in flight, or consumed
+// concurrently — either voids the emptiness proof), then every floor, then
+// every producer counter again. The confirmation pass closes the cut: a
+// message published between the first producer read and a floor read is
+// bounded by neither — its sender may have parked and raised its floor after
+// sending — but it moves the producer counter, so re-reading vetoes the
+// attempt. With both passes equal, every message not yet absorbed when the
+// cut opened was published after it closed, and each runner's future sends
+// are bounded by the floor value actually read: pending work and staged
+// output sit at or above the floor when it is stored, and input consumed
+// later delivers at or above the sender's committed clock, which the floor
+// never exceeds. min(floors) is therefore a true global lower bound on every
+// future delivery, and adding r's minimum inbound latency keeps it one.
+func (d *SpecDomain) tryLeap(r *Runner) bool {
+	st := r.spec
+	for i, c := range d.cons {
+		st.scratch[i] = c.Load()
+	}
+	for i, p := range d.pubs {
+		if p.Load() != st.scratch[i] {
+			return false // data in flight (or consumed concurrently): no proof
+		}
+	}
+	gvt := sim.Infinity
+	for _, rr := range d.runners {
+		if f := sim.Time(rr.spec.floor.Load()); f < gvt {
+			gvt = f
+		}
+	}
+	for i, p := range d.pubs {
+		if p.Load() != st.scratch[i] {
+			return false // published inside the cut: floors may not bound it
+		}
+	}
+	target := r.end
+	if gvt < r.end {
+		target = gvt + st.minInLat
+		if target > r.end {
+			target = r.end
+		}
+	}
+	if target <= st.committed {
+		return false
+	}
+	st.committed = target
+	st.counters.Leaps++
+	return true
+}
+
+// runSpec is the optimistic analogue of Run. Structure per round:
+// lower floor → drain (collect stragglers) → rollback if needed → advance
+// committed along the conservative ladder → execute the committed region →
+// publish withheld output below committed → refresh the snapshot at a quiet
+// point → speculate up to K windows → sync at committed → leap or park.
+func (r *Runner) runSpec(end sim.Time) {
+	st := r.spec
+	r.end = end
+	r.epoch = time.Now()
+	for _, c := range r.comps {
+		if r.restored {
+			rs, ok := c.(restartable)
+			if !ok {
+				panic("link: restored run with non-restorable component " + c.Name())
+			}
+			rs.StartRestored(end)
+			continue
+		}
+		c.Start(end)
+	}
+	st.committed = r.sched.Now()
+	st.floor.Store(int64(st.committed))
+	if st.k > 0 {
+		r.specSnapshot()
+	}
+	for {
+		st.floor.Store(int64(r.specFloorLow()))
+		r.drainSpec()
+		if st.rollbackPending {
+			r.specRollback()
+		}
+		h := r.horizon()
+		if h > end {
+			h = end
+		}
+		advanced := h > st.committed
+		if advanced {
+			st.committed = h
+		}
+		if st.committed > r.sched.Now() || r.runnableBefore(st.committed) {
+			r.sched.RunBefore(st.committed)
+		}
+		r.releaseWithheldAll()
+		if st.k > 0 && !st.demoted && r.sched.MaxExec() < st.committed && r.specDirty() {
+			r.specSnapshot()
+		}
+		if advanced {
+			r.specCommitTick()
+		}
+		if cap := r.specCap(); cap > st.committed && (cap > r.sched.Now() || r.runnableBefore(cap)) {
+			st.specTick++
+			if st.specTick&(specSamplePeriod-1) == 0 {
+				start := time.Since(r.epoch)
+				r.sched.RunBefore(cap)
+				st.specNanos += uint64(time.Since(r.epoch)-start) * specSamplePeriod
+			} else {
+				r.sched.RunBefore(cap)
+			}
+		}
+		r.syncAt(st.committed)
+		if r.OnAdvance != nil {
+			r.OnAdvance(st.committed)
+		}
+		if st.committed >= end {
+			// This runner will never publish data again: lift its floor to
+			// infinity so stalled peers' GVT leaps are not capped by a stale
+			// promise from a goroutine that has already returned.
+			st.floor.Store(int64(sim.Infinity))
+			for _, e := range r.eps {
+				e.finish(end)
+			}
+			return
+		}
+		if r.horizon() > st.committed {
+			continue
+		}
+		r.specBlock()
+	}
+}
+
+// specFloorLow returns the sound lowered floor: the earliest virtual time
+// this runner could publish a new data message at. Future input delivers at
+// or above committed (handleSpec enforces it), so committed bounds sends it
+// causes — but a GVT leap raises committed past still-unexecuted pending
+// events, and their sends (plus already-staged withheld output) carry stamps
+// below the new committed. Taking the min over all three keeps the advertised
+// promise true in every round; outside the round after a leap it equals
+// committed exactly.
+func (r *Runner) specFloorLow() sim.Time {
+	st := r.spec
+	f := st.committed
+	if t, ok := r.sched.PeekTime(); ok && t < f {
+		f = t
+	}
+	for _, e := range r.eps {
+		if sp := e.spec; len(sp.withheld) > 0 && sp.withheld[0].T < f {
+			f = sp.withheld[0].T
+		}
+	}
+	return f
+}
+
+// specCap is the speculation bound: committed + K windows, only while a
+// valid snapshot exists to roll back to.
+func (r *Runner) specCap() sim.Time {
+	st := r.spec
+	if st.k <= 0 || !st.snapValid {
+		return st.committed
+	}
+	cap := st.committed + sim.Time(st.k)*st.window
+	if cap > r.end {
+		cap = r.end
+	}
+	return cap
+}
+
+// specDirty reports whether the committed state has moved past the snapshot.
+func (r *Runner) specDirty() bool {
+	st := r.spec
+	if !st.snapValid {
+		return true
+	}
+	if r.sched.Processed() != st.snapDone {
+		return true
+	}
+	for _, e := range r.eps {
+		if len(e.spec.log) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// specSnapshot refreshes the committed restore point. Callers guarantee a
+// quiet scheduler (MaxExec < committed: nothing speculative has executed);
+// the speculative clock advance, if any, is rewound so the capture sits
+// exactly at the committed horizon. Failure (closure events in the queue, an
+// unregistered payload codec) demotes the runner to conservative execution
+// instead of failing the run.
+func (r *Runner) specSnapshot() {
+	st := r.spec
+	for _, e := range r.eps {
+		if e.spec.dropLeft != 0 {
+			panic(fmt.Sprintf("link: %s snapshot with %d unmatched replay re-sends", e.label, e.spec.dropLeft))
+		}
+	}
+	if r.sched.Now() > st.committed {
+		r.sched.Rewind(st.committed)
+	}
+	if err := st.ctl.Snapshot(); err != nil {
+		r.specDemote("snapshot failed: " + err.Error())
+		return
+	}
+	st.snapValid = true
+	st.snapAt = st.committed
+	st.snapDone = r.sched.Processed()
+	st.specNanos = 0
+	for _, e := range r.eps {
+		sp := e.spec
+		sp.snapTxData = e.Stats.TxData
+		sp.snapRxData = e.Stats.RxData
+		sp.log = sp.log[:0]
+		sp.logBuf.Reset()
+		sp.pubLog = sp.pubLog[:0]
+	}
+	st.counters.Snapshots++
+}
+
+// specDemote permanently disables speculation for the runner, recording why.
+// Only legal at points where no uncommitted execution is live (initial
+// snapshot, quiet-point refresh, or immediately after a rollback), which
+// every call site guarantees.
+func (r *Runner) specDemote(reason string) {
+	st := r.spec
+	st.demoted = true
+	if st.demoteReason == "" {
+		st.demoteReason = reason
+	}
+	st.k = 0
+	r.specDisarm()
+}
+
+// specDisarm drops the rollback apparatus after speculation stops (adaptive
+// K reaching 0, or demotion): no rollback can be needed once execution stays
+// below committed, so the logs only waste memory. Withheld staging and the
+// dedup window (dropLeft/pubLog) stay live — in-flight replay dedup must
+// still complete.
+func (r *Runner) specDisarm() {
+	st := r.spec
+	st.snapValid = false
+	for _, e := range r.eps {
+		sp := e.spec
+		sp.log = sp.log[:0]
+		sp.logBuf.Reset()
+	}
+}
+
+// specCommitTick rewards a clean horizon commit: after specRecoverStreak of
+// them in a row, an adaptively lowered K earns one doubling back.
+func (r *Runner) specCommitTick() {
+	st := r.spec
+	if st.demoted || st.k >= st.ctl.MaxWindows {
+		return
+	}
+	st.cleanStreak++
+	if st.cleanStreak < specRecoverStreak {
+		return
+	}
+	st.cleanStreak = 0
+	if st.k == 0 {
+		st.k = 1
+	} else if st.k *= 2; st.k > st.ctl.MaxWindows {
+		st.k = st.ctl.MaxWindows
+	}
+}
+
+// specRollback restores the group to its last committed snapshot after a
+// straggler: discard speculative output and pending events, rebuild
+// component and scheduler state, arm re-send dedup, and replay the input
+// log. The straggler itself was logged, so it replays too.
+func (r *Runner) specRollback() {
+	st := r.spec
+	if !st.snapValid {
+		panic("link: runner " + r.name + " rollback without a valid snapshot")
+	}
+	st.rollbackPending = false
+	st.counters.Rollbacks++
+	st.counters.WastedNanos += st.specNanos
+	st.specNanos = 0
+	for _, e := range r.eps {
+		sp := e.spec
+		for i := range sp.withheld {
+			core.ReleaseMessage(sp.withheld[i].Payload)
+			sp.withheld[i].Payload = nil
+		}
+		sp.withheld = sp.withheld[:0]
+	}
+	r.sched.DiscardPending(core.ReleaseMessage)
+	if err := st.ctl.Restore(); err != nil {
+		panic("link: runner " + r.name + " rollback restore failed: " + err.Error())
+	}
+	for _, e := range r.eps {
+		sp := e.spec
+		e.Stats.TxData = sp.snapTxData
+		e.Stats.RxData = sp.snapRxData
+		sp.dropLeft = len(sp.pubLog)
+		for i := range sp.log {
+			rec := &sp.log[i]
+			payload := rec.Payload
+			if rec.enc {
+				dec := snap.NewDecoder(sp.logBuf.Bytes()[rec.off : rec.off+rec.n])
+				p, err := core.DecodePayload(dec, sp.owners[rec.Sub])
+				if err != nil {
+					panic(fmt.Sprintf("link: %s replay decode: %v", e.label, err))
+				}
+				payload = p
+			}
+			r.sched.PostDelivery(rec.T+e.ch.Latency, e.srcFor[rec.Sub], e.sinks[rec.Sub], payload)
+			e.Stats.RxData += msgCount(payload)
+			st.counters.Replayed++
+		}
+	}
+	st.cleanStreak = 0
+	st.k /= 2
+	if st.k == 0 {
+		r.specDisarm()
+	}
+}
+
+// drainSpec is drainAll with the speculative receive path.
+func (r *Runner) drainSpec() {
+	for _, e := range r.eps {
+		if e.in.empty() {
+			if !e.peerDone {
+				if _, closed := e.in.drain(e.handleSpec); closed {
+					e.peerDone = true
+					r.horizonOK = false
+				}
+			}
+			continue
+		}
+		r.procTick++
+		if r.procTick&(profSamplePeriod-1) == 0 {
+			start := time.Since(r.epoch)
+			e.in.drain(e.handleSpec)
+			e.Stats.ProcNanos += uint64(time.Since(r.epoch)-start) * profSamplePeriod
+		} else {
+			e.in.drain(e.handleSpec)
+		}
+		e.Stats.PeakDepth = e.in.peakDepth()
+	}
+}
+
+// handleSpec processes one incoming message under speculation: log it for
+// replay, detect stragglers against the executed watermark, rewind the
+// purely speculative clock advance when needed, and deliver.
+func (e *Endpoint) handleSpec(m Message) {
+	if m.T < e.lastRecvT {
+		panic(fmt.Sprintf("link: %s received non-monotone timestamp %v after %v",
+			e.label, m.T, e.lastRecvT))
+	}
+	e.lastRecvT = m.T
+	r := e.runner
+	r.horizonOK = false
+	if m.Kind == KindSync {
+		e.Stats.RxSync++
+		return
+	}
+	e.Stats.RxData += msgCount(m.Payload)
+	sp := e.spec
+	sp.rx.Add(1)
+	st := r.spec
+	d := m.T + e.ch.Latency
+	if d < st.committed {
+		panic(fmt.Sprintf("link: %s data for %v below committed horizon %v", e.label, d, st.committed))
+	}
+	if st.snapValid {
+		if _, pooled := m.Payload.(core.Releaser); pooled {
+			// The delivery consumes the original, so the log needs a deep
+			// copy. If the payload has no codec (or no pool owner to re-mint
+			// from), speculation cannot continue safely: fall back to the
+			// committed snapshot now — the log up to here replays — and run
+			// conservatively from it, delivering this message on committed
+			// state where it never needs replaying.
+			off := sp.logBuf.Len()
+			var err error
+			if owner := sp.owners[m.Sub]; owner == nil {
+				err = fmt.Errorf("%w: no pool owner for sub %d", core.ErrUnknownSink, m.Sub)
+			} else {
+				err = core.EncodePayload(&sp.logBuf, m.Payload)
+			}
+			if err != nil {
+				r.specRollback()
+				r.specDemote("input not loggable: " + err.Error())
+			} else {
+				sp.log = append(sp.log, specIn{T: m.T, Sub: m.Sub,
+					off: int32(off), n: int32(sp.logBuf.Len() - off), enc: true})
+			}
+		} else {
+			sp.log = append(sp.log, specIn{T: m.T, Sub: m.Sub, Payload: m.Payload})
+		}
+	}
+	if st.snapValid && (st.rollbackPending || d <= r.sched.MaxExec()) {
+		// Straggler (or riding one already detected this drain): state will
+		// rewind below d, and the logged copy replays. The original payload
+		// is not delivered, so return any pooled resources now.
+		st.rollbackPending = true
+		core.ReleaseMessage(m.Payload)
+		return
+	}
+	if d <= r.sched.MaxExec() {
+		panic(fmt.Sprintf("link: %s straggler at %v (executed to %v) with no snapshot",
+			e.label, d, r.sched.MaxExec()))
+	}
+	sink, ok := e.sinks[m.Sub]
+	if !ok {
+		panic(fmt.Sprintf("link: %s has no sink for sub-channel %d", e.label, m.Sub))
+	}
+	r.sched.Rewind(d)
+	r.sched.PostDelivery(d, e.srcFor[m.Sub], sink, m.Payload)
+}
+
+// releaseWithheldAll publishes every withheld message whose timestamp fell
+// below the committed horizon.
+func (r *Runner) releaseWithheldAll() {
+	committed := r.spec.committed
+	for _, e := range r.eps {
+		if sp := e.spec; len(sp.withheld) > 0 {
+			e.releaseSpec(committed, sp)
+		}
+	}
+}
+
+// releaseSpec publishes the committed prefix of the withheld buffer. The
+// buffer is time-ordered by construction: entries are appended in execution
+// order with nondecreasing stamps (a rollback clears it wholesale), so the
+// release is a prefix drain, no sort. After a rollback the first dropLeft
+// publishes are re-sends of already-published messages: they are dropped,
+// each verified against the publish oracle.
+func (e *Endpoint) releaseSpec(committed sim.Time, sp *epSpec) {
+	n := 0
+	for n < len(sp.withheld) && sp.withheld[n].T < committed {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	record := e.runner.spec.snapValid
+	for i := 0; i < n; i++ {
+		m := &sp.withheld[i]
+		if sp.dropLeft > 0 {
+			want := sp.pubLog[len(sp.pubLog)-sp.dropLeft]
+			if want.T != m.T || want.Sub != m.Sub {
+				panic(fmt.Sprintf("link: %s replay divergence: re-send (%v, sub %d) != published (%v, sub %d)",
+					e.label, m.T, m.Sub, want.T, want.Sub))
+			}
+			sp.dropLeft--
+			core.ReleaseMessage(m.Payload)
+			m.Payload = nil
+			continue
+		}
+		if record {
+			sp.pubLog = append(sp.pubLog, specOut{T: m.T, Sub: m.Sub})
+		}
+		e.out.push(Message{T: m.T, Kind: KindData, Sub: m.Sub, Payload: m.Payload})
+		sp.tx.Add(1)
+		if m.T > e.lastSentT {
+			e.lastSentT = m.T
+		}
+		m.Payload = nil
+	}
+	rest := copy(sp.withheld, sp.withheld[n:])
+	for i := rest; i < len(sp.withheld); i++ {
+		sp.withheld[i] = specOut{}
+	}
+	sp.withheld = sp.withheld[:rest]
+}
+
+// syncAt emits a sync stamped t (the committed horizon — never the
+// speculative clock) on every endpoint, then publishes everything staged.
+func (r *Runner) syncAt(t sim.Time) {
+	if t != r.lastSyncAll {
+		r.lastSyncAll = t
+		for _, e := range r.eps {
+			e.sendSync(t)
+			e.out.flush()
+		}
+		return
+	}
+	r.flushAll()
+}
+
+// specBlock is the stall path: advertise the floor, try a GVT leap, and
+// otherwise park on the limiting endpoint like blockOnLimiting. The floor
+// is raised only here — after everything runnable has run and everything
+// staged is flushed — and lowered back to committed before any new input is
+// consumed, so a concurrent leap reader never trusts a stale promise.
+func (r *Runner) specBlock() {
+	st := r.spec
+	r.flushAll()
+	f := sim.Infinity
+	if t, ok := r.sched.PeekTime(); ok {
+		f = t
+	}
+	for _, e := range r.eps {
+		if sp := e.spec; len(sp.withheld) > 0 && sp.withheld[0].T < f {
+			f = sp.withheld[0].T
+		}
+	}
+	if f < st.committed {
+		f = st.committed
+	}
+	st.floor.Store(int64(f))
+	if st.dom != nil && st.dom.tryLeap(r) {
+		return
+	}
+	var limiting *Endpoint
+	h := sim.Infinity
+	for _, e := range r.eps {
+		if eh := e.horizon(); eh < h {
+			h = eh
+			limiting = e
+		}
+	}
+	if limiting == nil {
+		panic("link: runner " + r.name + " blocked with no endpoints")
+	}
+	m, ok, closed := limiting.in.tryRecv()
+	if !ok && !closed {
+		r.waitTick++
+		var start time.Duration
+		sampled := r.waitTick&(waitSamplePeriod-1) == 0
+		if sampled {
+			start = time.Since(r.epoch)
+		}
+		m, ok, closed = limiting.in.recvAdaptive()
+		if sampled {
+			limiting.Stats.WaitNanos += uint64(time.Since(r.epoch)-start) * waitSamplePeriod
+		}
+	}
+	st.floor.Store(int64(r.specFloorLow()))
+	if !ok {
+		limiting.peerDone = true
+		r.horizonOK = false
+		return
+	}
+	r.procTick++
+	if r.procTick&(profSamplePeriod-1) == 0 {
+		start := time.Since(r.epoch)
+		limiting.handleSpec(m)
+		limiting.Stats.ProcNanos += uint64(time.Since(r.epoch)-start) * profSamplePeriod
+	} else {
+		limiting.handleSpec(m)
+	}
+}

@@ -1,0 +1,376 @@
+package orch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Optimistic parallel execution. The conservative executor (RunParallel)
+// never lets a group run past the horizon its peers have promised; on
+// latency-dominated graphs that leaves cores idle climbing sync ladders
+// through windows where nothing ever arrives. RunOptimistic lets each group
+// speculate up to K sync windows past its committed horizon, holding a
+// per-group in-memory snapshot to fall back on when a straggler message
+// proves the speculation wrong. Outgoing messages stay withheld until the
+// committed horizon passes them, so misspeculation never escapes a group and
+// a rollback is strictly local. The standing invariant is inherited
+// unchanged: an optimistic run is bit-identical to RunSequential for every
+// placement, every K, and every interleaving.
+//
+// The fabric half (speculation loop, straggler detection, input-log replay,
+// GVT leaping) lives in link/spec.go. This file is the orchestrator half:
+// deciding which groups may speculate, building the snapshot/restore
+// closures over the group's components and scheduler, wiring replay pool
+// owners, and reporting what speculation did.
+
+// ErrRemoteUnsupported reports a plan whose simulation has remote
+// (cross-process) connections being handed to an executor that cannot
+// synchronize them. RunParallel and RunOptimistic reject such plans; use
+// RunCoupled, which keeps remote channels conservatively synchronized.
+var ErrRemoteUnsupported = errors.New("orch: remote channels unsupported by this executor")
+
+// checkNoRemotes guards the single-process executors.
+func (pl *ExecutionPlan) checkNoRemotes() error {
+	if n := len(pl.s.remotes); n > 0 {
+		return fmt.Errorf("%w: plan has %d remote connection(s)", ErrRemoteUnsupported, n)
+	}
+	return nil
+}
+
+// OptimisticOptions tunes the optimistic executor.
+type OptimisticOptions struct {
+	// Parallel carries the thread-placement options shared with RunParallel.
+	Parallel ParallelOptions
+	// MaxWindows is K: how many sync windows past the committed horizon each
+	// group may speculate. 0 disables speculation (groups still run the
+	// optimistic loop for its GVT horizon leaping). The depth is adaptive at
+	// runtime — a rollback halves a group's working K, clean commits earn it
+	// back — so MaxWindows is a ceiling, not a fixed operating point.
+	MaxWindows int
+}
+
+// DefaultOptimisticOptions is the multi-core default: parallel thread
+// placement plus a moderate speculation ceiling. K = 8 is deep enough to
+// bridge the empty-window stretches of latency-dominated graphs while
+// keeping the worst-case re-execution (one snapshot window) cheap.
+func DefaultOptimisticOptions() OptimisticOptions {
+	return OptimisticOptions{Parallel: DefaultParallelOptions(), MaxWindows: 8}
+}
+
+// GroupSpec is one group's speculation outcome.
+type GroupSpec struct {
+	Group string
+	// Conservative is the reason this group ran without speculation
+	// ("" when it speculated): a build-time ineligibility (non-Stateful
+	// component, aux state) or a runtime demotion (unsnapshottable queue,
+	// unloggable input).
+	Conservative string
+	Counters     link.SpecCounters
+}
+
+// SpecReport is what speculation did across an optimistic run.
+type SpecReport struct {
+	Groups []GroupSpec
+}
+
+// Totals sums the per-group counters.
+func (r *SpecReport) Totals() link.SpecCounters {
+	var t link.SpecCounters
+	for i := range r.Groups {
+		c := r.Groups[i].Counters
+		t.Snapshots += c.Snapshots
+		t.Rollbacks += c.Rollbacks
+		t.Leaps += c.Leaps
+		t.Replayed += c.Replayed
+		t.WastedNanos += c.WastedNanos
+	}
+	return t
+}
+
+// String renders the report as one line per group plus a totals line.
+func (r *SpecReport) String() string {
+	var b []byte
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		mode := "speculative"
+		if g.Conservative != "" {
+			mode = "conservative (" + g.Conservative + ")"
+		}
+		b = fmt.Appendf(b, "%s: %s snap=%d roll=%d leap=%d replay=%d\n",
+			g.Group, mode, g.Counters.Snapshots, g.Counters.Rollbacks,
+			g.Counters.Leaps, g.Counters.Replayed)
+	}
+	t := r.Totals()
+	b = fmt.Appendf(b, "total: snap=%d roll=%d leap=%d replay=%d wasted=%dns",
+		t.Snapshots, t.Rollbacks, t.Leaps, t.Replayed, t.WastedNanos)
+	return string(b)
+}
+
+// payRef locates one pending delivery's deep-copied pooled payload inside a
+// groupSnap's payload buffer (enc=false: the payload was captured by
+// reference — it is not pooled, and messages are immutable after send).
+type payRef struct {
+	off, n int32
+	enc    bool
+	owner  core.Component
+}
+
+// groupSnap holds one group's recycled snapshot buffers and implements the
+// SpecControl Snapshot/Restore closures. Everything is captured in memory by
+// reference or into reused flat buffers — no canonical sort, no container
+// framing, no file I/O — because the snapshot restores only into the very
+// scheduler and components it was taken from.
+type groupSnap struct {
+	sched  *sim.Scheduler
+	comps  []core.Stateful            // group members, registration order
+	owners map[core.Sink]core.Component // pool owner per delivery sink
+
+	mark  sim.Mark
+	state snap.Encoder // concatenated per-component state
+	offs  []int        // offs[i] = end of component i's bytes in state
+	evs   []sim.PendingEvent
+	prefs []payRef // parallel to evs
+	pays  snap.Encoder
+	work  []sim.PendingEvent // restore-side scratch
+}
+
+// snapshot captures the group at its committed horizon. An error (a closure
+// event in the queue, a payload with no codec, a pooled delivery whose sink
+// has no known owner) demotes the group to conservative execution — the
+// fabric treats it as "cannot speculate", never as a failed run.
+func (gs *groupSnap) snapshot() error {
+	gs.state.Reset()
+	gs.offs = gs.offs[:0]
+	for _, c := range gs.comps {
+		if err := c.SnapshotState(&gs.state); err != nil {
+			return fmt.Errorf("component %s: %w", c.Name(), err)
+		}
+		gs.offs = append(gs.offs, gs.state.Len())
+	}
+	evs, err := gs.sched.ExportPendingInto(gs.evs)
+	gs.evs = evs
+	if err != nil {
+		return err
+	}
+	gs.pays.Reset()
+	gs.prefs = gs.prefs[:0]
+	for i := range gs.evs {
+		e := &gs.evs[i]
+		var ref payRef
+		if e.Kind == sim.PendingDelivery {
+			if _, pooled := e.Payload.(core.Releaser); pooled {
+				// The live payload returns to its pool if this snapshot is
+				// ever restored (the rollback sweep releases the queue), so
+				// the snapshot needs its own copy, re-mintable from the
+				// owning component's pool.
+				var owner core.Component
+				if core.SinkComparable(e.Sink) {
+					owner = gs.owners[e.Sink]
+				}
+				if owner == nil {
+					return fmt.Errorf("%w: pooled delivery at %v with unowned sink %T",
+						core.ErrUnknownSink, e.At, e.Sink)
+				}
+				off := gs.pays.Len()
+				if err := core.EncodePayload(&gs.pays, e.Payload); err != nil {
+					return err
+				}
+				ref = payRef{off: int32(off), n: int32(gs.pays.Len() - off), enc: true, owner: owner}
+			}
+		}
+		gs.prefs = append(gs.prefs, ref)
+	}
+	gs.mark = gs.sched.CaptureMark()
+	return nil
+}
+
+// restore rebuilds exactly the captured state. The fabric has already
+// discarded the speculative queue (DiscardPending), so the scheduler is
+// empty; records re-enter with their original sequence numbers, which is
+// what makes re-execution from the restore point bit-identical.
+func (gs *groupSnap) restore() error {
+	gs.sched.RestoreMark(gs.mark)
+	start := 0
+	for i, c := range gs.comps {
+		dec := snap.NewDecoder(gs.state.Bytes()[start:gs.offs[i]])
+		if err := c.RestoreState(dec); err != nil {
+			return fmt.Errorf("component %s: %w", c.Name(), err)
+		}
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("component %s: %w", c.Name(), err)
+		}
+		start = gs.offs[i]
+	}
+	gs.work = gs.work[:0]
+	for i := range gs.evs {
+		e := gs.evs[i]
+		if ref := gs.prefs[i]; ref.enc {
+			dec := snap.NewDecoder(gs.pays.Bytes()[ref.off : ref.off+ref.n])
+			p, err := core.DecodePayload(dec, ref.owner)
+			if err != nil {
+				return err
+			}
+			e.Payload = p
+		}
+		gs.work = append(gs.work, e)
+	}
+	return gs.sched.RestorePending(gs.work)
+}
+
+// specOwners maps every delivery sink the wiring can target to the
+// component whose frame pool re-mints pooled payloads for it — the in-memory
+// analogue of the checkpoint sink table, keyed by live sink instead of by
+// serialized name.
+func (pl *ExecutionPlan) specOwners() map[core.Sink]core.Component {
+	s := pl.s
+	owners := make(map[core.Sink]core.Component)
+	add := func(sk core.Sink, owner core.Component) {
+		if sk == nil || !core.SinkComparable(sk) {
+			return
+		}
+		if _, seen := owners[sk]; !seen {
+			owners[sk] = owner
+		}
+	}
+	for _, c := range s.comps {
+		if st, ok := c.(core.Stateful); ok {
+			st.WalkSinks(func(_ string, sk core.Sink) { add(sk, c) })
+		}
+	}
+	for _, c := range s.conns {
+		add(c.a.Sink, c.a.Comp)
+		add(c.b.Sink, c.b.Comp)
+	}
+	for _, t := range s.trunks {
+		for _, p := range t.pairs {
+			add(p.SinkA, t.compA)
+			add(p.SinkB, t.compB)
+		}
+	}
+	return owners
+}
+
+// specReason decides build-time eligibility for group gi: "" when every
+// member can snapshot, otherwise the reason the group must stay
+// conservative. Runtime conditions (closure events posted by the profiler,
+// payloads without codecs) are left to the fabric's demotion path.
+func (pl *ExecutionPlan) specReason(gi int) string {
+	if len(pl.s.auxs) > 0 {
+		// Aux state (workload engines, reservoirs) is simulation-global and
+		// mutated from component event handlers; it cannot roll back with a
+		// single group, so no group may speculate past state it touches.
+		return "aux state " + pl.s.auxs[0].name + " attached"
+	}
+	for _, ci := range pl.groupComps[gi] {
+		if _, ok := pl.s.comps[ci].(core.Stateful); !ok {
+			return "component " + pl.Comps[ci].Name + " is not checkpointable"
+		}
+	}
+	return ""
+}
+
+// RunOptimistic executes the plan optimistically with the host defaults.
+func (pl *ExecutionPlan) RunOptimistic(end sim.Time) (*SpecReport, error) {
+	return pl.RunOptimisticOpts(end, DefaultOptimisticOptions())
+}
+
+// RunOptimisticOpts executes the plan under explicit optimistic options:
+// the execute() body plus the speculation install step between wiring and
+// launch. Groups that cannot speculate run the same loop conservatively
+// (with GVT leaping) and are reported with their reason — a plan with no
+// eligible group still runs, it just never speculates.
+func (pl *ExecutionPlan) RunOptimisticOpts(end sim.Time, opts OptimisticOptions) (*SpecReport, error) {
+	if err := pl.checkNoRemotes(); err != nil {
+		return nil, err
+	}
+	s := pl.s
+	g := &link.Group{}
+	scheds := make([]*sim.Scheduler, pl.NumGroups())
+	runners := make([]*link.Runner, pl.NumGroups())
+	for gi, name := range pl.GroupNames {
+		scheds[gi] = sim.NewScheduler(int32(1000 + gi))
+		runners[gi] = link.NewRunner(name, scheds[gi])
+		runners[gi].SetBatchWindows(opts.Parallel.BatchWindows)
+		g.Add(runners[gi])
+	}
+	pl.wire(scheds, runners)
+	for gi, members := range pl.groupComps {
+		for _, ci := range members {
+			c := s.comps[ci]
+			runners[gi].AddComponent(c, s.srcOf[c])
+		}
+	}
+
+	owners := pl.specOwners()
+	for gi := range runners {
+		ctl := &link.SpecControl{MaxWindows: opts.MaxWindows}
+		if reason := pl.specReason(gi); reason != "" {
+			ctl.Reason = reason
+		} else if opts.MaxWindows > 0 {
+			gs := &groupSnap{sched: scheds[gi], owners: owners}
+			for _, ci := range pl.groupComps[gi] {
+				gs.comps = append(gs.comps, s.comps[ci].(core.Stateful))
+			}
+			ctl.Snapshot = gs.snapshot
+			ctl.Restore = gs.restore
+		}
+		runners[gi].SetSpec(ctl)
+	}
+	// Replay pool owners per cross-group endpoint sub-channel: a logged
+	// pooled payload re-mints from the receiving side's component pool.
+	for _, c := range s.conns {
+		if c.epA != nil {
+			c.epA.SetSpecOwner(0, c.a.Comp)
+			c.epB.SetSpecOwner(0, c.b.Comp)
+		}
+	}
+	for _, t := range s.trunks {
+		if t.epA != nil {
+			for i := range t.pairs {
+				t.epA.SetSpecOwner(uint16(i), t.compA)
+				t.epB.SetSpecOwner(uint16(i), t.compB)
+			}
+		}
+	}
+	link.NewSpecDomain(runners)
+
+	s.Group = g
+	if s.PreRun != nil {
+		s.PreRun(g)
+	}
+	pinned := 0
+	if opts.Parallel.Pin {
+		pinned = len(runners)
+		if opts.Parallel.MaxPinned > 0 && pinned > opts.Parallel.MaxPinned {
+			pinned = opts.Parallel.MaxPinned
+		}
+	}
+	runErr := g.RunPinned(end, pinned)
+	for _, sc := range scheds {
+		sc.DiscardPending(core.ReleaseMessage)
+	}
+
+	rep := &SpecReport{Groups: make([]GroupSpec, len(runners))}
+	for gi, r := range runners {
+		counters, reason, _ := r.SpecStats()
+		rep.Groups[gi] = GroupSpec{Group: pl.GroupNames[gi], Conservative: reason, Counters: counters}
+	}
+	return rep, runErr
+}
+
+// RunOptimistic executes the simulation optimistically under the given
+// placement — the speculative analog of RunParallel. Bit-identical to
+// RunSequential for every placement and every speculation depth.
+func (s *Simulation) RunOptimistic(end sim.Time, p decomp.Placement) (*SpecReport, error) {
+	pl, err := s.Plan(p)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunOptimistic(end)
+}

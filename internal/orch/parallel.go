@@ -60,12 +60,17 @@ func DefaultParallelOptions() ParallelOptions {
 }
 
 // RunParallel executes the plan with the multi-core defaults for this host.
+// Plans with remote connections are rejected with ErrRemoteUnsupported; use
+// RunCoupled, which keeps remote channels conservatively synchronized.
 func (pl *ExecutionPlan) RunParallel(end sim.Time) error {
-	return pl.execute(end, DefaultParallelOptions())
+	return pl.RunParallelOpts(end, DefaultParallelOptions())
 }
 
 // RunParallelOpts executes the plan under explicit executor options.
 func (pl *ExecutionPlan) RunParallelOpts(end sim.Time, opts ParallelOptions) error {
+	if err := pl.checkNoRemotes(); err != nil {
+		return err
+	}
 	return pl.execute(end, opts)
 }
 
@@ -83,10 +88,11 @@ func (s *Simulation) RunParallel(end sim.Time, p decomp.Placement) error {
 // HostModelParams returns decomposition-model parameters tuned to the
 // executing host rather than the calibrated paper constants: the core
 // budget is GOMAXPROCS and the per-sync cost is measured on this machine's
-// actual channel fabric (link.MeasureSyncCost). AutoPlace fed with these
-// parameters weighs core count and real sync cost — it stops splitting
-// beyond the cores that exist and merges groups whose sync bill, at
-// measured prices, exceeds their parallelism win.
+// actual channel fabric (link.MeasuredSyncCost — priced once per process,
+// cached thereafter). AutoPlace fed with these parameters weighs core count
+// and real sync cost — it stops splitting beyond the cores that exist and
+// merges groups whose sync bill, at measured prices, exceeds their
+// parallelism win.
 func HostModelParams(duration sim.Time) decomp.Params {
-	return decomp.HostParams(duration, runtime.GOMAXPROCS(0), link.MeasureSyncCost())
+	return decomp.HostParams(duration, runtime.GOMAXPROCS(0), link.MeasuredSyncCost())
 }

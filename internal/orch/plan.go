@@ -313,6 +313,10 @@ func (pl *ExecutionPlan) String() string {
 		ct.Row(ch.Name, ch.Kind, ch.Links, ch.Latency, ch.SyncInterval, groups, mode)
 	}
 	b.WriteString(ct.String())
+	if cost := link.MeasuredSyncCost(); cost > 0 {
+		fmt.Fprintf(&b, "measured sync cost on this host: %.0f ns/sync (%d coupled channels pay it per quantum)\n",
+			cost, coupled)
+	}
 	return b.String()
 }
 

@@ -53,8 +53,14 @@ type Sample struct {
 	// Frames is the number of pooled frames live (taken from pools, not
 	// yet released) across the runner's components at sample time — the
 	// packet-path leak indicator.
-	Frames   uint64
-	Adapters []AdapterSample
+	Frames uint64
+	// SpecActive reports that the runner executes optimistically
+	// (orch.RunOptimistic); Spec then carries its speculation counters —
+	// snapshots, rollbacks, GVT leaps, replayed deliveries, wasted nanos —
+	// as of sample time.
+	SpecActive bool
+	Spec       link.SpecCounters
+	Adapters   []AdapterSample
 }
 
 // Collector gathers samples from a coupled run.
@@ -87,6 +93,10 @@ func (c *Collector) Attach(g *link.Group, interval sim.Time) {
 				if fp, ok := comp.(core.FramePooler); ok {
 					s.Frames += fp.FrameStats().Live
 				}
+			}
+			if cnt, _, active := r.SpecStats(); active {
+				s.SpecActive = true
+				s.Spec = cnt
 			}
 			for _, e := range r.Endpoints() {
 				s.Adapters = append(s.Adapters, AdapterSample{
@@ -136,14 +146,22 @@ func (c *Collector) Transports() []TransportSample {
 
 // WriteTo emits the samples as text log lines, one adapter per line:
 //
-//	splitsim-prof sim=<name> wall=<ns> virt=<ps> frames=<n> ep=<label>
+//	splitsim-prof sim=<name> wall=<ns> virt=<ps> frames=<n>
+//	  [spec=<snaps>:<rolls>:<leaps>:<replays>:<wastedns>] ep=<label>
 //	  peer=<sim> wait=<ns> proc=<ns> depth=<n> txd=<n> txs=<n> rxd=<n> rxs=<n>
+//
+// The spec= field appears only for optimistically executed runners.
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, s := range c.Samples() {
+		spec := ""
+		if s.SpecActive {
+			spec = fmt.Sprintf(" spec=%d:%d:%d:%d:%d", s.Spec.Snapshots, s.Spec.Rollbacks,
+				s.Spec.Leaps, s.Spec.Replayed, s.Spec.WastedNanos)
+		}
 		if len(s.Adapters) == 0 {
-			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d frames=%d\n",
-				s.Sim, s.WallNs, int64(s.Virt), s.Frames)
+			n, err := fmt.Fprintf(w, "splitsim-prof sim=%s wall=%d virt=%d frames=%d%s\n",
+				s.Sim, s.WallNs, int64(s.Virt), s.Frames, spec)
 			total += int64(n)
 			if err != nil {
 				return total, err
@@ -151,8 +169,8 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 		}
 		for _, a := range s.Adapters {
 			n, err := fmt.Fprintf(w,
-				"splitsim-prof sim=%s wall=%d virt=%d frames=%d ep=%s peer=%s wait=%d proc=%d depth=%d txd=%d txs=%d rxd=%d rxs=%d\n",
-				s.Sim, s.WallNs, int64(s.Virt), s.Frames, a.Label, a.Peer,
+				"splitsim-prof sim=%s wall=%d virt=%d frames=%d%s ep=%s peer=%s wait=%d proc=%d depth=%d txd=%d txs=%d rxd=%d rxs=%d\n",
+				s.Sim, s.WallNs, int64(s.Virt), s.Frames, spec, a.Label, a.Peer,
 				a.WaitNanos, a.ProcNanos, a.PeakDepth, a.TxData, a.TxSync, a.RxData, a.RxSync)
 			total += int64(n)
 			if err != nil {
@@ -244,6 +262,15 @@ func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 				return nil, nil, fmt.Errorf("profiler: bad frames %q", v)
 			}
 		}
+		// spec= appears only on lines from optimistically executed runners;
+		// its absence (conservative runs, older logs) parses as inactive.
+		if v, hasSpec := kv["spec"]; hasSpec {
+			if _, err := fmt.Sscanf(v, "%d:%d:%d:%d:%d", &s.Spec.Snapshots, &s.Spec.Rollbacks,
+				&s.Spec.Leaps, &s.Spec.Replayed, &s.Spec.WastedNanos); err != nil {
+				return nil, nil, fmt.Errorf("profiler: bad spec %q", v)
+			}
+			s.SpecActive = true
+		}
 		key := fmt.Sprintf("%s/%d/%d", s.Sim, s.WallNs, virt)
 		i, ok := idx[key]
 		if !ok {
@@ -252,6 +279,8 @@ func ParseLogFull(r io.Reader) ([]Sample, []TransportSample, error) {
 			out = append(out, s)
 		}
 		out[i].Frames = s.Frames
+		out[i].SpecActive = s.SpecActive
+		out[i].Spec = s.Spec
 		if ep, hasEp := kv["ep"]; hasEp {
 			a := AdapterSample{Label: ep, Peer: kv["peer"]}
 			parse := func(name string, dst *uint64) error {

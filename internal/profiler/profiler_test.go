@@ -144,6 +144,42 @@ func TestParseLogIgnoresForeignLines(t *testing.T) {
 	}
 }
 
+func TestLogRoundTripSpec(t *testing.T) {
+	// spec= counters (optimistic execution) survive the log round trip on
+	// both line forms — with and without adapters — and their absence parses
+	// as an inactive speculative state.
+	c := NewCollector()
+	withEp := mkSample("opt", 7, 3*sim.Millisecond, "peer", 1, 2, 3)
+	withEp.SpecActive = true
+	withEp.Spec = link.SpecCounters{Snapshots: 11, Rollbacks: 2, Leaps: 40, Replayed: 9, WastedNanos: 1234}
+	bare := Sample{Sim: "bare", WallNs: 8, Virt: 4 * sim.Millisecond,
+		SpecActive: true, Spec: link.SpecCounters{Leaps: 7}}
+	cons := mkSample("cons", 9, 5*sim.Millisecond, "peer", 0, 0, 0)
+	c.Add(withEp)
+	c.Add(bare)
+	c.Add(cons)
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "spec=11:2:40:9:1234") {
+		t.Fatalf("missing spec field in log:\n%s", b.String())
+	}
+	got, err := ParseLog(strings.NewReader(b.String()))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("got %d samples err %v", len(got), err)
+	}
+	if !got[0].SpecActive || got[0].Spec != withEp.Spec {
+		t.Fatalf("spec with adapters = %+v active=%v", got[0].Spec, got[0].SpecActive)
+	}
+	if !got[1].SpecActive || got[1].Spec != bare.Spec {
+		t.Fatalf("spec bare = %+v active=%v", got[1].Spec, got[1].SpecActive)
+	}
+	if got[2].SpecActive {
+		t.Fatal("conservative sample parsed as speculative")
+	}
+}
+
 func TestParseLogWithoutDepthField(t *testing.T) {
 	// Logs written before the depth= field existed must still parse, with a
 	// zero peak depth.

@@ -144,3 +144,13 @@ func PutWireFrame(w *WireFrame) {
 	w.B = nil
 	wirePool.Put(w)
 }
+
+// Release implements core.Releaser: recycle the wrapper and leave the buffer
+// to the garbage collector (the wrapper carries no pool reference to return
+// it to). Discard paths — stragglers dropped before delivery, staged output
+// cleared by a rollback, queues swept at end of run — release wire frames
+// that never reach a consumer. The interface is also load-bearing for
+// optimistic execution: delivery adopts B, so the speculative input log must
+// deep-copy wire frames rather than hold a reference that replay would find
+// recycled.
+func (w *WireFrame) Release() { PutWireFrame(w) }

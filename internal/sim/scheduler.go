@@ -16,6 +16,16 @@ type Scheduler struct {
 	// busy accumulates modeled host-CPU nanoseconds charged via Charge.
 	busy uint64
 
+	// maxExec is the timestamp of the latest event actually executed (-1
+	// when none has). Now may run ahead of it — RunBefore/RunUntil advance
+	// the clock to their limit even when the tail of the window held no
+	// events — and that gap is exactly the speculation the optimistic
+	// executor can retract without rollback: a message arriving at
+	// t > maxExec but t < Now needs only Rewind, while t <= maxExec means
+	// an already-executed event could have ordered after the newcomer and
+	// state must be restored from a snapshot.
+	maxExec Time
+
 	// deliveries is the side table for typed delivery events: the queue
 	// entry carries only a slot index (see eventEntry.del), the (sink,
 	// payload) pair lives here and each slot is recycled through freeDel
@@ -41,7 +51,7 @@ type delivery struct {
 // NewScheduler returns a scheduler whose locally scheduled events use id as
 // their ordering source.
 func NewScheduler(id int32) *Scheduler {
-	return &Scheduler{id: id}
+	return &Scheduler{id: id, maxExec: -1}
 }
 
 // ID returns the scheduler's stable source id.
@@ -164,6 +174,7 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) runHead() {
 	e, _ := s.q.Pop()
 	s.now = e.at
+	s.maxExec = e.at
 	if e.timer != nil {
 		e.timer.fired = true
 	}

@@ -115,25 +115,9 @@ const (
 // event time, because a func pointer cannot be serialized. The queue is not
 // modified; records come back in heap order, not time order — callers sort.
 func (s *Scheduler) ExportPending() ([]PendingEvent, error) {
-	s.q.fill()
-	out := make([]PendingEvent, 0, len(s.q.h))
-	for i := range s.q.h {
-		e := &s.q.h[i]
-		if e.timer != nil && e.timer.canceled {
-			continue
-		}
-		switch {
-		case e.del > 0:
-			d := s.deliveries[e.del-1]
-			out = append(out, PendingEvent{At: e.at, Src: e.src, Seq: e.seq,
-				Kind: PendingDelivery, Sink: d.sink, Payload: d.payload})
-		case e.del < 0:
-			ne := s.namedEvts[-e.del-1]
-			out = append(out, PendingEvent{At: e.at, Src: e.src, Seq: e.seq,
-				Kind: PendingNamed, Handler: s.named[ne.h].name, Args: ne.args})
-		default:
-			return nil, fmt.Errorf("%w (at %v, src %d)", ErrClosureEvent, e.at, e.src)
-		}
+	out, err := s.ExportPendingInto(make([]PendingEvent, 0, s.q.Len()))
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -46,6 +46,11 @@ type Encoder struct {
 // Bytes returns the encoded bytes.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset truncates the encoder to empty while keeping its backing array, so
+// a periodic in-memory snapshot (the optimistic executor takes one per
+// committed horizon) reuses one buffer instead of allocating each time.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Len returns the number of encoded bytes.
 func (e *Encoder) Len() int { return len(e.buf) }
 
